@@ -1,0 +1,64 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not part of the paper's tables, but they quantify the claims the paper makes
+in prose:
+
+* the progression summary -> entry-forward -> optimised entry-forward
+  (Section 4: "increasingly complex to describe but increasingly efficient"),
+* early termination (the appendix formula's first clause),
+* the frontier (``Relevant``) optimisation, visible as the gap between the
+  plain and the optimised entry-forward algorithm on call-heavy programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import run_sequential
+from repro.benchgen import DriverSpec, TerminatorSpec, make_driver, make_terminator
+from repro.frontends import resolve_target
+
+from conftest import measure
+
+
+def _driver_workload():
+    spec = DriverSpec(name="ablation-driver", handlers=3, flags=3, helpers=2, positive=True)
+    program = make_driver(spec)
+    return program, resolve_target(program, spec.target)
+
+
+def _terminator_workload(positive: bool):
+    spec = TerminatorSpec(
+        name="ablation-terminator", counter_bits=3, variant="schoose", positive=positive
+    )
+    program = make_terminator(spec)
+    return program, resolve_target(program, spec.target)
+
+
+@pytest.mark.parametrize("algorithm", ["summary", "ef", "ef-opt"])
+def test_algorithm_progression_on_driver(benchmark, algorithm):
+    program, locations = _driver_workload()
+    result = measure(benchmark, run_sequential, program, locations, algorithm=algorithm)
+    assert result.reachable
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+@pytest.mark.parametrize("algorithm", ["ef", "ef-opt"])
+@pytest.mark.parametrize("positive", [True, False], ids=["positive", "negative"])
+def test_algorithm_progression_on_terminator(benchmark, algorithm, positive):
+    program, locations = _terminator_workload(positive)
+    result = measure(benchmark, run_sequential, program, locations, algorithm=algorithm)
+    assert result.reachable == positive
+    benchmark.extra_info["algorithm"] = algorithm
+
+
+@pytest.mark.parametrize("early_stop", [True, False], ids=["early-stop", "full-fixpoint"])
+def test_early_termination(benchmark, early_stop):
+    program, locations = _driver_workload()
+    result = measure(
+        benchmark, run_sequential, program, locations, algorithm="ef", early_stop=early_stop
+    )
+    assert result.reachable
+    benchmark.extra_info["early_stop"] = early_stop
+    benchmark.extra_info["iterations"] = result.iterations

@@ -1,0 +1,53 @@
+"""Figure 2, rows "SLAM drivers" (iscsiprt / floppy / negative drivers / iscsi).
+
+The paper's driver suites are large (10K–17K LOC) Boolean abstractions with a
+handful of globals; all tools answer in a few seconds, with MOPED and BEBOP
+slightly ahead of GETAFIX because of MUCKE's fixed start-up cost.  The
+synthetic driver generator reproduces the *shape* (dispatcher + handlers +
+lock/flag protocol) at laptop scale; the benchmark sweeps the handler count,
+with positive (lock-discipline bug planted) and negative variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import run_sequential
+from repro.baselines import run_bebop, run_moped
+from repro.benchgen import DriverSpec, make_driver
+from repro.frontends import resolve_target
+
+from conftest import measure
+
+ENGINES = {
+    "getafix-ef": lambda program, locations: run_sequential(program, locations, algorithm="ef"),
+    "getafix-ef-opt": lambda program, locations: run_sequential(
+        program, locations, algorithm="ef-opt"
+    ),
+    "bebop": run_bebop,
+    "moped": run_moped,
+}
+
+SIZES = [2, 3]
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("handlers", SIZES)
+@pytest.mark.parametrize("positive", [True, False], ids=["positive", "negative"])
+def test_driver(benchmark, engine, handlers, positive):
+    spec = DriverSpec(
+        name=f"driver-{handlers}",
+        handlers=handlers,
+        flags=min(4, handlers),
+        helpers=max(1, handlers // 2),
+        positive=positive,
+    )
+    program = make_driver(spec)
+    locations = resolve_target(program, spec.target)
+    runner = ENGINES[engine]
+
+    result = measure(benchmark, runner, program, locations)
+    assert result.reachable == positive
+    benchmark.extra_info["procedures"] = len(program.procedures)
+    benchmark.extra_info["globals"] = len(program.globals)
+    benchmark.extra_info["summary_nodes"] = result.summary_nodes

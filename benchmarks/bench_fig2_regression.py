@@ -1,0 +1,57 @@
+"""Figure 2, rows "Regression (positive / negative)".
+
+The paper runs GETAFIX (entry-forward and optimised entry-forward), MOPED and
+BEBOP over the SLAM regression suite — 99 programs with a reachable target and
+79 without — and reports ~1 second and tiny BDDs for every tool.  Here each
+benchmark runs one engine over the full synthetic regression suite (one
+program per feature template, per polarity) and reports the aggregate time;
+EXPERIMENTS.md compares the resulting rows with the paper's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import run_sequential
+from repro.baselines import run_bebop, run_moped
+from repro.benchgen import regression_suite
+from repro.frontends import resolve_target
+
+from conftest import measure
+
+ENGINES = {
+    "getafix-ef": lambda program, locations: run_sequential(program, locations, algorithm="ef"),
+    "getafix-ef-opt": lambda program, locations: run_sequential(
+        program, locations, algorithm="ef-opt"
+    ),
+    "getafix-summary": lambda program, locations: run_sequential(
+        program, locations, algorithm="summary"
+    ),
+    "bebop": run_bebop,
+    "moped": run_moped,
+}
+
+
+def _suite(positive: bool):
+    cases = regression_suite(positive)
+    prepared = []
+    for case in cases:
+        prepared.append((case, resolve_target(case.program, case.target)))
+    return prepared
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("positive", [True, False], ids=["positive", "negative"])
+def test_regression_suite(benchmark, engine, positive):
+    suite = _suite(positive)
+    runner = ENGINES[engine]
+
+    def run_suite():
+        results = [runner(case.program, locations) for case, locations in suite]
+        for (case, _), result in zip(suite, results):
+            assert result.reachable == case.expected, case.name
+        return results
+
+    results = measure(benchmark, run_suite)
+    benchmark.extra_info["programs"] = len(suite)
+    benchmark.extra_info["max_summary_nodes"] = max(r.summary_nodes for r in results)

@@ -1,0 +1,50 @@
+"""Figure 2, rows "TERMINATOR-A/B/C" (iterative and schoose variants).
+
+The TERMINATOR benchmarks have few procedures but many global bits and complex
+loop structure, producing much larger reachable-state BDDs; in the paper this
+is where GETAFIX clearly beats MOPED and BEBOP (both time out on some
+variants).  The synthetic generator reproduces the shape with a Boolean
+ripple-carry counter driven by nested loops, in the paper's two encodings of
+the ``dead`` statement (``iterative`` and ``schoose``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import run_sequential
+from repro.baselines import run_bebop, run_moped
+from repro.benchgen import TerminatorSpec, make_terminator
+from repro.frontends import resolve_target
+
+from conftest import measure
+
+ENGINES = {
+    "getafix-ef": lambda program, locations: run_sequential(program, locations, algorithm="ef"),
+    "getafix-ef-opt": lambda program, locations: run_sequential(
+        program, locations, algorithm="ef-opt"
+    ),
+    "bebop": run_bebop,
+    "moped": run_moped,
+}
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("variant", ["iterative", "schoose"])
+@pytest.mark.parametrize("bits", [2, 3])
+@pytest.mark.parametrize("positive", [True, False], ids=["positive", "negative"])
+def test_terminator(benchmark, engine, variant, bits, positive):
+    spec = TerminatorSpec(
+        name=f"terminator-{variant}-{bits}b",
+        counter_bits=bits,
+        variant=variant,
+        positive=positive,
+    )
+    program = make_terminator(spec)
+    locations = resolve_target(program, spec.target)
+    runner = ENGINES[engine]
+
+    result = measure(benchmark, runner, program, locations)
+    assert result.reachable == positive
+    benchmark.extra_info["globals"] = len(program.globals)
+    benchmark.extra_info["summary_nodes"] = result.summary_nodes

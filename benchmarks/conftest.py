@@ -1,0 +1,22 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark uses ``benchmark.pedantic(..., rounds=1, iterations=1)``: the
+engines are deterministic and far too slow (pure Python) for statistical
+repetition to be informative; one measured run per configuration mirrors how
+the paper reports a single wall-clock time per benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def measure(benchmark, function, *args, **kwargs):
+    """Run ``function`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def run_once():
+    """Fixture exposing :func:`measure` to benchmark modules."""
+    return measure

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Regenerate the rows of Figure 2 and Figure 3 as plain-text tables.
+
+Unlike the pytest-benchmark files (which integrate with ``pytest
+--benchmark-only``), this harness prints tables in the same layout as the
+paper so the results can be compared side by side and pasted into
+EXPERIMENTS.md.
+
+Usage::
+
+    python benchmarks/report.py figure2            # sequential suites
+    python benchmarks/report.py figure3            # Bluetooth, explicit engine
+    python benchmarks/report.py figure3-symbolic   # Bluetooth, fixed-point engine
+    python benchmarks/report.py all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.algorithms import run_concurrent, run_sequential
+from repro.baselines import run_bebop, run_concurrent_explicit, run_moped
+from repro.benchgen import (
+    DriverSpec,
+    TerminatorSpec,
+    make_bluetooth,
+    make_driver,
+    make_terminator,
+    regression_suite,
+)
+from repro.encode.concurrent import ConcurrentEncoder
+from repro.frontends import resolve_target
+
+SEQUENTIAL_ENGINES: Dict[str, Callable] = {
+    "EF": lambda p, locs: run_sequential(p, locs, algorithm="ef"),
+    "EFopt": lambda p, locs: run_sequential(p, locs, algorithm="ef-opt"),
+    "Bebop": run_bebop,
+    "Moped": run_moped,
+}
+
+
+def _sequential_row(name: str, program, locations, expected: bool) -> str:
+    cells = [f"{name:28s}", "Yes" if expected else "No "]
+    nodes = 0
+    for engine_name, runner in SEQUENTIAL_ENGINES.items():
+        started = time.perf_counter()
+        result = runner(program, locations)
+        elapsed = time.perf_counter() - started
+        assert result.reachable == expected, f"{name}: {engine_name} disagrees"
+        if engine_name == "EFopt":
+            nodes = result.summary_nodes
+        cells.append(f"{elapsed:7.2f}")
+    cells.insert(2, f"{nodes:8d}")
+    return "  ".join(cells)
+
+
+def figure2(sizes: Sequence[int] = (2, 3), counter_bits: Sequence[int] = (2, 3)) -> None:
+    """The sequential suites of Figure 2 (regression, drivers, terminator)."""
+    header = (
+        f"{'benchmark':28s}  {'Reach?':4s}  {'EFopt BDD':>8s}  "
+        + "  ".join(f"{name:>7s}" for name in SEQUENTIAL_ENGINES)
+    )
+    print("== Figure 2: sequential Boolean programs (times in seconds) ==")
+    print(header)
+    print("-" * len(header))
+    for positive in (True, False):
+        suite = regression_suite(positive)
+        label = f"Regression ({'positive' if positive else 'negative'}, {len(suite)} programs)"
+        totals = {name: 0.0 for name in SEQUENTIAL_ENGINES}
+        nodes = 0
+        for case in suite:
+            locations = resolve_target(case.program, case.target)
+            for engine_name, runner in SEQUENTIAL_ENGINES.items():
+                started = time.perf_counter()
+                result = runner(case.program, locations)
+                totals[engine_name] += time.perf_counter() - started
+                assert result.reachable == case.expected
+                if engine_name == "EFopt":
+                    nodes = max(nodes, result.summary_nodes)
+        row = [f"{label:28s}", "Yes" if positive else "No ", f"{nodes:8d}"]
+        row += [f"{totals[name]:7.2f}" for name in SEQUENTIAL_ENGINES]
+        print("  ".join(row))
+    for positive in (True, False):
+        for handlers in sizes:
+            spec = DriverSpec(
+                name=f"Driver {handlers} handlers ({'pos' if positive else 'neg'})",
+                handlers=handlers,
+                flags=min(4, handlers),
+                helpers=max(1, handlers // 2),
+                positive=positive,
+            )
+            program = make_driver(spec)
+            print(_sequential_row(spec.name, program, resolve_target(program, spec.target), positive))
+    for positive in (True, False):
+        for bits in counter_bits:
+            for variant in ("iterative", "schoose"):
+                spec = TerminatorSpec(
+                    name=f"Terminator {variant} {bits}b ({'pos' if positive else 'neg'})",
+                    counter_bits=bits,
+                    variant=variant,
+                    positive=positive,
+                )
+                program = make_terminator(spec)
+                print(
+                    _sequential_row(
+                        spec.name, program, resolve_target(program, spec.target), positive
+                    )
+                )
+
+
+def figure3(max_switches: int = 6) -> None:
+    """The Bluetooth table of Figure 3, using the explicit engine (all bounds)."""
+    print("== Figure 3: Bluetooth driver, explicit engine ==")
+    print(f"{'config':6s}  {'switches':>8s}  {'Reachable?':>10s}  {'configs':>10s}  {'time (s)':>9s}")
+    for name, (adders, stoppers) in (
+        ("1A1S", (1, 1)),
+        ("1A2S", (1, 2)),
+        ("2A1S", (2, 1)),
+        ("2A2S", (2, 2)),
+    ):
+        program = make_bluetooth(adders, stoppers)
+        locations = ConcurrentEncoder(program).error_locations()
+        for switches in range(1, max_switches + 1):
+            started = time.perf_counter()
+            result = run_concurrent_explicit(
+                program, locations, context_switches=switches
+            )
+            elapsed = time.perf_counter() - started
+            print(
+                f"{name:6s}  {switches:8d}  {result.verdict():>10s}  "
+                f"{result.details['configurations']:10d}  {elapsed:9.2f}"
+            )
+
+
+def figure3_symbolic(max_switches: int = 3) -> None:
+    """The Bluetooth table of Figure 3, using the Section 5 fixed-point algorithm."""
+    print("== Figure 3: Bluetooth driver, symbolic bounded context switching ==")
+    print(f"{'config':6s}  {'switches':>8s}  {'Reachable?':>10s}  {'BDD nodes':>10s}  {'time (s)':>9s}")
+    for name, (adders, stoppers) in (("1A1S", (1, 1)), ("1A2S", (1, 2)), ("2A2S", (2, 2))):
+        program = make_bluetooth(adders, stoppers)
+        locations = ConcurrentEncoder(program).error_locations()
+        for switches in range(1, max_switches + 1):
+            started = time.perf_counter()
+            result = run_concurrent(program, locations, context_switches=switches)
+            elapsed = time.perf_counter() - started
+            print(
+                f"{name:6s}  {switches:8d}  {result.verdict():>10s}  "
+                f"{result.summary_nodes:10d}  {elapsed:9.2f}"
+            )
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "what",
+        choices=["figure2", "figure3", "figure3-symbolic", "all"],
+        help="which table to regenerate",
+    )
+    parser.add_argument("--max-switches", type=int, default=6)
+    args = parser.parse_args(argv)
+    if args.what in ("figure2", "all"):
+        figure2()
+        print()
+    if args.what in ("figure3", "all"):
+        figure3(max_switches=args.max_switches)
+        print()
+    if args.what in ("figure3-symbolic", "all"):
+        figure3_symbolic(max_switches=min(args.max_switches, 3))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

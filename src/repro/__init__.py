@@ -1,0 +1,19 @@
+"""Getafix reproduction: analyzing recursive Boolean programs with a fixed-point calculus.
+
+The package reproduces "Analyzing Recursive Programs using a Fixed-point
+Calculus" (La Torre, Madhusudan, Parlato — PLDI 2009).  The main entry points
+are:
+
+* :func:`repro.frontends.check_reachability` — the GETAFIX front door: parse a
+  Boolean program, pick an algorithm, answer a reachability query.
+* :mod:`repro.fixedpoint` — the fixed-point calculus used to *write* the
+  model-checking algorithms.
+* :mod:`repro.algorithms` — the paper's algorithms expressed as equation
+  systems in that calculus.
+* :mod:`repro.baselines` — BEBOP- and MOPED-style comparison engines and the
+  Lal–Reps sequentialisation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""The paper's model-checking algorithms, written in the fixed-point calculus."""
+
+from .common import AlgorithmSpec
+from .result import ReachabilityResult
+from .engine import SEQUENTIAL_ALGORITHMS, run_sequential
+from .concurrent_cbr import run_concurrent, build_cbr_system
+
+__all__ = [
+    "AlgorithmSpec",
+    "ReachabilityResult",
+    "SEQUENTIAL_ALGORITHMS",
+    "run_sequential",
+    "run_concurrent",
+    "build_cbr_system",
+]

@@ -1,0 +1,67 @@
+"""The entry-forward summary algorithm (Section 4.2).
+
+``SummaryEF(u, v)`` refines the basic summary relation so that every tuple it
+ever contains is *reachable*: the only entry summarised initially is the entry
+of ``main`` (clause 1), and the entry of a procedure is summarised only once a
+reachable caller actually calls it (clause 3).  Theorem 2: ``SummaryEF(u, v)``
+holds iff ``u`` is a reachable entry and ``v`` is reachable from ``u`` within
+the same procedure — hence the target query simply asks for a summarised state
+at the target location.
+"""
+
+from __future__ import annotations
+
+from ..encode.templates import SequentialEncoder
+from ..fixedpoint import And, Eq, Equation, EquationSystem, Exists, Or, RelationDecl
+from .common import AlgorithmSpec, state_vars, target_query
+
+__all__ = ["build"]
+
+
+def build(encoder: SequentialEncoder) -> AlgorithmSpec:
+    """Build the Section 4.2 entry-forward algorithm."""
+    state = encoder.space.state_sort
+    decls = encoder.decls
+    ProgramInt = decls["ProgramInt"]
+    IntoCall = decls["IntoCall"]
+    Return = decls["Return"]
+    Entry = decls["Entry"]
+    Exit = decls["Exit"]
+    Init = decls["Init"]
+
+    SummaryEF = RelationDecl("SummaryEF", [("u", state), ("v", state)])
+    u, v, x, y, z = state_vars(encoder, "u", "v", "x", "y", "z")
+
+    body = Or(
+        # [1] Only the entry of main is summarised initially.
+        And(Entry(u.mod, u.pc), Eq(u, v), Init(u)),
+        # [2] Internal transition.
+        Exists(x, And(SummaryEF(u, x), ProgramInt(x, v))),
+        # [3] The entry of a procedure called from a reachable state becomes a
+        #     (trivially) summarised entry itself.
+        Exists([x, y], And(SummaryEF(x, y), IntoCall(y, u), Eq(u, v))),
+        # [4] Across a call: caller summary + callee summary + matching return.
+        Exists(
+            [x, y, z],
+            And(
+                SummaryEF(u, x),
+                IntoCall(x, y),
+                SummaryEF(y, z),
+                Exit(z.mod, z.pc),
+                Return(x, z, v),
+            ),
+        ),
+    )
+
+    system = EquationSystem(
+        [Equation(SummaryEF, body)],
+        inputs=[ProgramInt, IntoCall, Return, Entry, Exit, Init, decls["Target"]],
+    )
+    query = target_query(encoder, SummaryEF)
+    return AlgorithmSpec(
+        name="ef",
+        system=system,
+        target_relation="SummaryEF",
+        query=query,
+        evaluation="nested",
+    )

@@ -1,0 +1,130 @@
+"""The optimised entry-forward algorithm (Section 4.3).
+
+The optimisation processes, in each round, only summaries whose current state
+sits at a *relevant* program counter — a program counter at which some state
+was discovered for the first time in the previous round — and it closes the
+cheap internal transitions to completion before computing the next (expensive)
+batch of calls and returns.
+
+The bookkeeping uses a frontier flag ``fr``: ``SummaryEFopt(1, u, v)`` holds
+for every discovered pair, while ``SummaryEFopt(0, u, v)`` additionally marks
+the pairs already known *before* the last round.  ``Relevant`` therefore uses
+the pairs that are in the ``fr=1`` slice but not in the ``fr=0`` slice — a
+*negative* (non-monotone) use of the relation being computed, which is exactly
+why the algorithm relies on the calculus's algorithmic (nested-iteration)
+semantics rather than on Knaster–Tarski.
+
+Note on clause [7] of the paper: read literally it would add pairs relating a
+caller's entry to a callee's entry; following Theorem 3 (and the entry-forward
+formula it optimises), the clause is implemented here as discovering the
+*callee entry summarised with itself* whenever a relevant reachable state
+calls it.
+"""
+
+from __future__ import annotations
+
+from ..encode.templates import SequentialEncoder
+from ..fixedpoint import (
+    And,
+    BOOL,
+    Eq,
+    Equation,
+    EquationSystem,
+    Exists,
+    Not,
+    Or,
+    RelationDecl,
+    Var,
+)
+from .common import AlgorithmSpec, state_vars, target_query
+
+__all__ = ["build"]
+
+
+def build(encoder: SequentialEncoder) -> AlgorithmSpec:
+    """Build the Section 4.3 optimised entry-forward algorithm."""
+    state = encoder.space.state_sort
+    pc_sort = encoder.space.pc_sort
+    decls = encoder.decls
+    ProgramInt = decls["ProgramInt"]
+    IntoCall = decls["IntoCall"]
+    Return = decls["Return"]
+    Entry = decls["Entry"]
+    Exit = decls["Exit"]
+    Init = decls["Init"]
+
+    SummaryEFopt = RelationDecl("SummaryEFopt", [("fr", BOOL), ("u", state), ("v", state)])
+    Relevant = RelationDecl("Relevant", [("pc", pc_sort)])
+    New1 = RelationDecl("New1", [("u", state), ("v", state)])
+    New2 = RelationDecl("New2", [("u", state), ("v", state)])
+
+    u, v, x, y, z = state_vars(encoder, "u", "v", "x", "y", "z")
+    fr = Var("fr", BOOL)
+    pc = Var("pc", pc_sort)
+
+    summary_body = Or(
+        # [1] Initial configurations are (re)added every round with fr=1.
+        And(Eq(fr, True), Entry(u.mod, u.pc), Eq(u, v), Init(u)),
+        # [2] Whatever was frontier-marked is kept (with both marks): pairs
+        #     discovered in earlier rounds stop being "new".
+        SummaryEFopt(True, u, v),
+        # [3] Newly computed pairs join with the frontier mark.
+        And(Eq(fr, True), Or(New1(u, v), New2(u, v))),
+    )
+
+    relevant_body = Exists(
+        [u, v],
+        And(
+            SummaryEFopt(True, u, v),
+            Not(SummaryEFopt(False, u, v)),
+            Eq(v.pc, pc),
+        ),
+    )
+
+    new1_body = Or(
+        # [5] Seed with already-discovered pairs sitting at a relevant pc.
+        And(SummaryEFopt(True, u, v), Relevant(v.pc)),
+        # [6] ... and close them under internal transitions (to completion).
+        Exists(x, And(New1(u, x), ProgramInt(x, v))),
+    )
+
+    new2_body = Or(
+        # [7] A relevant reachable state calls a procedure: its entry becomes
+        #     a summarised entry (see the module docstring on the paper's
+        #     phrasing of this clause).
+        Exists(
+            [x, y],
+            And(Relevant(y.pc), SummaryEFopt(True, x, y), IntoCall(y, u), Eq(u, v)),
+        ),
+        # [8]-[11] Across a call, required only when the caller state or the
+        #          callee exit state is relevant (either suffices).
+        Exists(
+            [x, y, z],
+            And(
+                SummaryEFopt(True, u, x),
+                IntoCall(x, y),
+                SummaryEFopt(True, y, z),
+                Exit(z.mod, z.pc),
+                Return(x, z, v),
+                Or(Relevant(x.pc), Relevant(z.pc)),
+            ),
+        ),
+    )
+
+    system = EquationSystem(
+        [
+            Equation(SummaryEFopt, summary_body),
+            Equation(Relevant, relevant_body),
+            Equation(New1, new1_body),
+            Equation(New2, new2_body),
+        ],
+        inputs=[ProgramInt, IntoCall, Return, Entry, Exit, Init, decls["Target"]],
+    )
+    query = target_query(encoder, SummaryEFopt, True)
+    return AlgorithmSpec(
+        name="ef-opt",
+        system=system,
+        target_relation="SummaryEFopt",
+        query=query,
+        evaluation="nested",
+    )

@@ -1,0 +1,64 @@
+"""Result records returned by the reachability engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["ReachabilityResult"]
+
+
+@dataclass
+class ReachabilityResult:
+    """Outcome and statistics of one reachability check.
+
+    Attributes
+    ----------
+    reachable:
+        The YES/NO answer to "is the target location reachable?".
+    algorithm:
+        Name of the algorithm/engine that produced the answer.
+    iterations:
+        Number of outer fixed-point iterations (or worklist steps for the
+        explicit baselines).
+    equation_evaluations:
+        Number of equation-body evaluations (symbolic engines only).
+    summary_nodes:
+        BDD node count of the final summary relation (the paper's "#Nodes in
+        BDD" column); for explicit engines the number of path edges.
+    summary_states:
+        Number of tuples in the summary/reach relation, when cheap to obtain.
+    elapsed_seconds:
+        Wall-clock time of the fixed-point evaluation itself.
+    encode_seconds:
+        Wall-clock time spent building the template relations / model.
+    total_seconds:
+        End-to-end time for the check.
+    stopped_early:
+        Whether early termination fired before the full fixed point.
+    details:
+        Engine-specific extras (number of BDD variables, context bound, ...).
+    """
+
+    reachable: bool
+    algorithm: str
+    iterations: int = 0
+    equation_evaluations: int = 0
+    summary_nodes: int = 0
+    summary_states: Optional[int] = None
+    elapsed_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    total_seconds: float = 0.0
+    stopped_early: bool = False
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def verdict(self) -> str:
+        """The YES/NO string used in the paper's tables."""
+        return "Yes" if self.reachable else "No"
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.algorithm}] reachable={self.verdict()} "
+            f"iterations={self.iterations} summary_nodes={self.summary_nodes} "
+            f"time={self.total_seconds:.3f}s"
+        )

@@ -1,0 +1,24 @@
+"""Pure-Python ROBDD library (the symbolic substrate of the reproduction).
+
+Public API
+----------
+:class:`BddManager`
+    The node table and operation layer (integer node handles).
+:class:`Function`
+    Ergonomic wrapper with operator overloading for user code.
+:func:`interleave`, :func:`order_from_affinity`
+    Static variable-ordering heuristics ("allocation constraints").
+"""
+
+from .manager import BddError, BddManager
+from .function import Function
+from .ordering import interleave, order_from_affinity, validate_order
+
+__all__ = [
+    "BddError",
+    "BddManager",
+    "Function",
+    "interleave",
+    "order_from_affinity",
+    "validate_order",
+]

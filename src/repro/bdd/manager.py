@@ -1,0 +1,616 @@
+"""Reduced Ordered Binary Decision Diagram (ROBDD) manager.
+
+This module is the symbolic-representation substrate of the reproduction: it
+plays the role that CUDD plays inside MUCKE in the original Getafix tool.  It
+is a from-scratch, pure-Python ROBDD implementation with the operations the
+fixed-point evaluator needs:
+
+* ``ite`` / ``apply`` style Boolean connectives,
+* existential and universal quantification over variable sets,
+* the relational product ``and_exists`` (conjunction + quantification in one
+  recursive pass, the workhorse of symbolic image computation),
+* variable renaming (substitution of variables by variables),
+* restriction (cofactoring), support computation, satisfying-assignment
+  counting and enumeration.
+
+Nodes are identified by integer indices into parallel arrays; the terminals
+are the indices :data:`BddManager.FALSE` (0) and :data:`BddManager.TRUE` (1).
+The manager does not garbage-collect nodes: for the workloads in this
+repository (model checking scaled-down Boolean programs) the node table stays
+small, and keeping all nodes alive lets every memoisation cache remain valid
+for the lifetime of the manager.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["BddManager", "BddError"]
+
+
+class BddError(Exception):
+    """Raised for invalid uses of the BDD manager (unknown variables, ...)."""
+
+
+class BddManager:
+    """A manager owning a shared multi-rooted ROBDD forest.
+
+    Parameters
+    ----------
+    var_names:
+        Optional initial variable names, in order.  The position of a name in
+        this sequence is its *level*: variables earlier in the sequence are
+        tested closer to the root.  More variables can be added later with
+        :meth:`add_var`, which appends them below all existing levels.
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    #: Sentinel level used for the two terminal nodes; always greater than the
+    #: level of any variable node.
+    _TERMINAL_LEVEL = 1 << 60
+
+    def __init__(self, var_names: Optional[Sequence[str]] = None) -> None:
+        # Parallel node arrays.  Index 0 is FALSE, index 1 is TRUE.
+        self._level: List[int] = [self._TERMINAL_LEVEL, self._TERMINAL_LEVEL]
+        self._lo: List[int] = [0, 1]
+        self._hi: List[int] = [0, 1]
+        # Unique table: (level, lo, hi) -> node index.
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        # Operation caches.
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._exists_cache: Dict[Tuple[int, frozenset], int] = {}
+        self._forall_cache: Dict[Tuple[int, frozenset], int] = {}
+        self._and_exists_cache: Dict[Tuple[int, int, frozenset], int] = {}
+        self._rename_cache: Dict[Tuple[int, int], int] = {}
+        self._rename_token = 0
+        self._count_cache: Dict[int, int] = {}
+        # Variable bookkeeping.
+        self._var_names: List[str] = []
+        self._name_to_var: Dict[str, int] = {}
+        if var_names is not None:
+            for name in var_names:
+                self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Variable management
+    # ------------------------------------------------------------------
+    def add_var(self, name: str) -> int:
+        """Declare a new variable below all existing levels; return its index."""
+        if name in self._name_to_var:
+            raise BddError(f"variable {name!r} already declared")
+        index = len(self._var_names)
+        self._var_names.append(name)
+        self._name_to_var[name] = index
+        return index
+
+    def var_index(self, name: str) -> int:
+        """Return the level/index of a declared variable name."""
+        try:
+            return self._name_to_var[name]
+        except KeyError:
+            raise BddError(f"unknown variable {name!r}") from None
+
+    def var_name(self, index: int) -> str:
+        """Return the name of the variable at ``index``."""
+        return self._var_names[index]
+
+    @property
+    def var_names(self) -> Tuple[str, ...]:
+        """All declared variable names, in level order."""
+        return tuple(self._var_names)
+
+    @property
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._var_names)
+
+    def var(self, var: int | str) -> int:
+        """Return the BDD node for a single variable (``x``)."""
+        index = self.var_index(var) if isinstance(var, str) else var
+        if not 0 <= index < len(self._var_names):
+            raise BddError(f"variable index {index} out of range")
+        return self._mk(index, self.FALSE, self.TRUE)
+
+    def nvar(self, var: int | str) -> int:
+        """Return the BDD node for a negated variable (``not x``)."""
+        index = self.var_index(var) if isinstance(var, str) else var
+        return self._mk(index, self.TRUE, self.FALSE)
+
+    # ------------------------------------------------------------------
+    # Node creation
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, lo: int, hi: int) -> int:
+        """Find-or-create the node ``(level, lo, hi)`` (with reduction)."""
+        if lo == hi:
+            return lo
+        key = (level, lo, hi)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._lo.append(lo)
+            self._hi.append(hi)
+            self._unique[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Structural accessors
+    # ------------------------------------------------------------------
+    def level_of(self, node: int) -> int:
+        """Return the level of a node (terminals have a large sentinel level)."""
+        return self._level[node]
+
+    def low(self, node: int) -> int:
+        """Return the low (else) child of a node."""
+        return self._lo[node]
+
+    def high(self, node: int) -> int:
+        """Return the high (then) child of a node."""
+        return self._hi[node]
+
+    def is_terminal(self, node: int) -> bool:
+        """True iff the node is one of the two terminals."""
+        return node <= 1
+
+    def __len__(self) -> int:
+        """Total number of nodes allocated by this manager (incl. terminals)."""
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f and g) or (not f and h)``."""
+        # Terminal cases.
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f_lo, f_hi = self._cofactors(f, level)
+        g_lo, g_hi = self._cofactors(g, level)
+        h_lo, h_hi = self._cofactors(h, level)
+        lo = self.ite(f_lo, g_lo, h_lo)
+        hi = self.ite(f_hi, g_hi, h_hi)
+        result = self._mk(level, lo, hi)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        if self._level[node] == level:
+            return self._lo[node], self._hi[node]
+        return node, node
+
+    def not_(self, f: int) -> int:
+        """Boolean negation."""
+        if f == self.TRUE:
+            return self.FALSE
+        if f == self.FALSE:
+            return self.TRUE
+        cached = self._not_cache.get(f)
+        if cached is not None:
+            return cached
+        result = self._mk(self._level[f], self.not_(self._lo[f]), self.not_(self._hi[f]))
+        self._not_cache[f] = result
+        self._not_cache[result] = f
+        return result
+
+    def and_(self, f: int, g: int) -> int:
+        """Boolean conjunction."""
+        return self.ite(f, g, self.FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        """Boolean disjunction."""
+        return self.ite(f, self.TRUE, g)
+
+    def xor(self, f: int, g: int) -> int:
+        """Boolean exclusive or."""
+        return self.ite(f, self.not_(g), g)
+
+    def iff(self, f: int, g: int) -> int:
+        """Boolean biconditional."""
+        return self.ite(f, g, self.not_(g))
+
+    def implies(self, f: int, g: int) -> int:
+        """Boolean implication ``f -> g``."""
+        return self.ite(f, g, self.TRUE)
+
+    def conjoin(self, nodes: Iterable[int]) -> int:
+        """Conjunction of an iterable of nodes (TRUE for the empty iterable)."""
+        result = self.TRUE
+        for node in nodes:
+            result = self.and_(result, node)
+            if result == self.FALSE:
+                return result
+        return result
+
+    def disjoin(self, nodes: Iterable[int]) -> int:
+        """Disjunction of an iterable of nodes (FALSE for the empty iterable)."""
+        result = self.FALSE
+        for node in nodes:
+            result = self.or_(result, node)
+            if result == self.TRUE:
+                return result
+        return result
+
+    # ------------------------------------------------------------------
+    # Quantification
+    # ------------------------------------------------------------------
+    def exists(self, f: int, variables: Iterable[int | str]) -> int:
+        """Existentially quantify ``variables`` out of ``f``."""
+        qvars = self._var_set(variables)
+        if not qvars:
+            return f
+        return self._exists(f, qvars)
+
+    def _exists(self, f: int, qvars: frozenset) -> int:
+        if f <= 1:
+            return f
+        level = self._level[f]
+        if level > max(qvars):
+            return f
+        key = (f, qvars)
+        cached = self._exists_cache.get(key)
+        if cached is not None:
+            return cached
+        lo = self._exists(self._lo[f], qvars)
+        hi = self._exists(self._hi[f], qvars)
+        if level in qvars:
+            result = self.or_(lo, hi)
+        else:
+            result = self._mk(level, lo, hi)
+        self._exists_cache[key] = result
+        return result
+
+    def forall(self, f: int, variables: Iterable[int | str]) -> int:
+        """Universally quantify ``variables`` out of ``f``."""
+        qvars = self._var_set(variables)
+        if not qvars:
+            return f
+        return self._forall(f, qvars)
+
+    def _forall(self, f: int, qvars: frozenset) -> int:
+        if f <= 1:
+            return f
+        level = self._level[f]
+        if level > max(qvars):
+            return f
+        key = (f, qvars)
+        cached = self._forall_cache.get(key)
+        if cached is not None:
+            return cached
+        lo = self._forall(self._lo[f], qvars)
+        hi = self._forall(self._hi[f], qvars)
+        if level in qvars:
+            result = self.and_(lo, hi)
+        else:
+            result = self._mk(level, lo, hi)
+        self._forall_cache[key] = result
+        return result
+
+    def and_exists(self, f: int, g: int, variables: Iterable[int | str]) -> int:
+        """Relational product: ``exists variables. (f and g)`` in one pass."""
+        qvars = self._var_set(variables)
+        if not qvars:
+            return self.and_(f, g)
+        return self._and_exists(f, g, qvars)
+
+    def _and_exists(self, f: int, g: int, qvars: frozenset) -> int:
+        if f == self.FALSE or g == self.FALSE:
+            return self.FALSE
+        if f == self.TRUE and g == self.TRUE:
+            return self.TRUE
+        if f == self.TRUE:
+            return self._exists(g, qvars)
+        if g == self.TRUE:
+            return self._exists(f, qvars)
+        if f == g:
+            return self._exists(f, qvars)
+        # Canonicalise the argument order for better cache hit rates.
+        if f > g:
+            f, g = g, f
+        key = (f, g, qvars)
+        cached = self._and_exists_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g])
+        f_lo, f_hi = self._cofactors(f, level)
+        g_lo, g_hi = self._cofactors(g, level)
+        if level in qvars:
+            lo = self._and_exists(f_lo, g_lo, qvars)
+            if lo == self.TRUE:
+                result = self.TRUE
+            else:
+                hi = self._and_exists(f_hi, g_hi, qvars)
+                result = self.or_(lo, hi)
+        else:
+            lo = self._and_exists(f_lo, g_lo, qvars)
+            hi = self._and_exists(f_hi, g_hi, qvars)
+            result = self._mk(level, lo, hi)
+        self._and_exists_cache[key] = result
+        return result
+
+    def _var_set(self, variables: Iterable[int | str]) -> frozenset:
+        indices = set()
+        for var in variables:
+            indices.add(self.var_index(var) if isinstance(var, str) else var)
+        for index in indices:
+            if not 0 <= index < len(self._var_names):
+                raise BddError(f"variable index {index} out of range")
+        return frozenset(indices)
+
+    # ------------------------------------------------------------------
+    # Substitution / renaming / restriction
+    # ------------------------------------------------------------------
+    def rename(self, f: int, mapping: Dict[int | str, int | str]) -> int:
+        """Rename variables of ``f`` according to ``mapping`` (var -> var).
+
+        The substitution is simultaneous and is implemented with an
+        order-insensitive recursive rebuild (each renamed node is re-inserted
+        with ``ite`` on the target variable), so the mapping does not have to
+        respect the variable order.  The mapping must be injective on the
+        variables it moves and no target variable may also appear in the
+        support of ``f`` unless it is itself renamed away.
+        """
+        normalised: Dict[int, int] = {}
+        for src, dst in mapping.items():
+            src_index = self.var_index(src) if isinstance(src, str) else src
+            dst_index = self.var_index(dst) if isinstance(dst, str) else dst
+            if src_index != dst_index:
+                normalised[src_index] = dst_index
+        if not normalised:
+            return f
+        targets = list(normalised.values())
+        if len(set(targets)) != len(targets):
+            raise BddError("rename mapping must be injective")
+        support = self.support(f)
+        clashes = (set(targets) & support) - set(normalised)
+        if clashes:
+            names = sorted(self._var_names[i] for i in clashes)
+            raise BddError(f"rename targets already in support: {names}")
+        self._rename_token += 1
+        return self._rename(f, normalised, self._rename_token)
+
+    def _rename(self, f: int, mapping: Dict[int, int], token: int) -> int:
+        if f <= 1:
+            return f
+        key = (f, token)
+        cached = self._rename_cache.get(key)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        lo = self._rename(self._lo[f], mapping, token)
+        hi = self._rename(self._hi[f], mapping, token)
+        target = mapping.get(level, level)
+        result = self.ite(self.var(target), hi, lo)
+        self._rename_cache[key] = result
+        return result
+
+    def restrict(self, f: int, assignment: Dict[int | str, bool]) -> int:
+        """Cofactor ``f`` by fixing the given variables to constants."""
+        fixed = {
+            (self.var_index(var) if isinstance(var, str) else var): bool(value)
+            for var, value in assignment.items()
+        }
+        if not fixed:
+            return f
+        return self._restrict(f, fixed, {})
+
+    def _restrict(self, f: int, fixed: Dict[int, bool], cache: Dict[int, int]) -> int:
+        if f <= 1:
+            return f
+        cached = cache.get(f)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        if level in fixed:
+            branch = self._hi[f] if fixed[level] else self._lo[f]
+            result = self._restrict(branch, fixed, cache)
+        else:
+            lo = self._restrict(self._lo[f], fixed, cache)
+            hi = self._restrict(self._hi[f], fixed, cache)
+            result = self._mk(level, lo, hi)
+        cache[f] = result
+        return result
+
+    def compose(self, f: int, var: int | str, g: int) -> int:
+        """Substitute the function ``g`` for the variable ``var`` in ``f``."""
+        index = self.var_index(var) if isinstance(var, str) else var
+        return self._compose(f, index, g, {})
+
+    def _compose(self, f: int, index: int, g: int, cache: Dict[int, int]) -> int:
+        if f <= 1:
+            return f
+        if self._level[f] > index:
+            return f
+        cached = cache.get(f)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        if level == index:
+            result = self.ite(g, self._hi[f], self._lo[f])
+        else:
+            lo = self._compose(self._lo[f], index, g, cache)
+            hi = self._compose(self._hi[f], index, g, cache)
+            result = self.ite(self.var(level), hi, lo)
+        cache[f] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def support(self, f: int) -> set:
+        """Set of variable indices the function ``f`` depends on."""
+        seen: set = set()
+        result: set = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            result.add(self._level[node])
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        return result
+
+    def support_names(self, f: int) -> set:
+        """Set of variable *names* the function ``f`` depends on."""
+        return {self._var_names[index] for index in self.support(f)}
+
+    def node_count(self, f: int) -> int:
+        """Number of distinct decision nodes reachable from ``f`` (excl. terminals)."""
+        seen: set = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        return len(seen)
+
+    def count_sat(self, f: int, variables: Optional[Iterable[int | str]] = None) -> int:
+        """Number of satisfying assignments of ``f`` over ``variables``.
+
+        When ``variables`` is omitted, all declared variables are used.
+        """
+        if variables is None:
+            var_set = frozenset(range(len(self._var_names)))
+        else:
+            var_set = self._var_set(variables)
+            missing = self.support(f) - var_set
+            if missing:
+                names = sorted(self._var_names[i] for i in missing)
+                raise BddError(f"count_sat variables must cover the support; missing {names}")
+        order = sorted(var_set)
+        position = {index: pos for pos, index in enumerate(order)}
+        total_levels = len(order)
+        below_cache: Dict[Tuple[int, int], int] = {}
+
+        def count_below(node: int, from_pos: int) -> int:
+            """Assignments over variables at positions >= from_pos satisfying node."""
+            if node == self.FALSE:
+                return 0
+            if node == self.TRUE:
+                return 1 << (total_levels - from_pos)
+            key = (node, from_pos)
+            cached = below_cache.get(key)
+            if cached is not None:
+                return cached
+            level = self._level[node]
+            pos = position[level]
+            gap = pos - from_pos
+            sub = count_below(self._lo[node], pos + 1) + count_below(self._hi[node], pos + 1)
+            result = sub << gap
+            below_cache[key] = result
+            return result
+
+        return count_below(f, 0)
+
+    def sat_one(self, f: int) -> Optional[Dict[int, bool]]:
+        """One satisfying assignment (over the support only), or None if UNSAT."""
+        if f == self.FALSE:
+            return None
+        assignment: Dict[int, bool] = {}
+        node = f
+        while node > 1:
+            if self._lo[node] != self.FALSE:
+                assignment[self._level[node]] = False
+                node = self._lo[node]
+            else:
+                assignment[self._level[node]] = True
+                node = self._hi[node]
+        return assignment
+
+    def sat_all(self, f: int, variables: Iterable[int | str]) -> Iterator[Dict[int, bool]]:
+        """Iterate over all satisfying assignments restricted to ``variables``.
+
+        Every yielded dictionary assigns a Boolean to *each* variable in
+        ``variables`` (variables not in the support are enumerated both ways).
+        The function must not depend on variables outside ``variables``.
+        """
+        var_list = sorted(self._var_set(variables))
+        missing = self.support(f) - set(var_list)
+        if missing:
+            names = sorted(self._var_names[i] for i in missing)
+            raise BddError(f"sat_all variables must cover the support; missing {names}")
+
+        def recurse(node: int, pos: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if node == self.FALSE:
+                return
+            if pos == len(var_list):
+                yield dict(partial)
+                return
+            index = var_list[pos]
+            level = self._level[node] if node > 1 else self._TERMINAL_LEVEL
+            if level == index:
+                for value, child in ((False, self._lo[node]), (True, self._hi[node])):
+                    partial[index] = value
+                    yield from recurse(child, pos + 1, partial)
+                del partial[index]
+            else:
+                for value in (False, True):
+                    partial[index] = value
+                    yield from recurse(node, pos + 1, partial)
+                del partial[index]
+
+        yield from recurse(f, 0, {})
+
+    def cube(self, assignment: Dict[int | str, bool]) -> int:
+        """The conjunction of literals described by ``assignment``."""
+        result = self.TRUE
+        for var, value in assignment.items():
+            literal = self.var(var) if value else self.nvar(var)
+            result = self.and_(result, literal)
+        return result
+
+    def eval(self, f: int, assignment: Dict[int | str, bool]) -> bool:
+        """Evaluate ``f`` under a total assignment of its support."""
+        fixed = {
+            (self.var_index(var) if isinstance(var, str) else var): bool(value)
+            for var, value in assignment.items()
+        }
+        node = f
+        while node > 1:
+            level = self._level[node]
+            if level not in fixed:
+                raise BddError(
+                    f"assignment does not cover variable {self._var_names[level]!r}"
+                )
+            node = self._hi[node] if fixed[level] else self._lo[node]
+        return node == self.TRUE
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop all operation caches (node table is kept)."""
+        self._ite_cache.clear()
+        self._not_cache.clear()
+        self._exists_cache.clear()
+        self._forall_cache.clear()
+        self._and_exists_cache.clear()
+        self._rename_cache.clear()
+        self._count_cache.clear()
+
+    def to_expr(self, f: int) -> str:
+        """A (dense) textual if-then-else rendering, for debugging small BDDs."""
+        if f == self.FALSE:
+            return "FALSE"
+        if f == self.TRUE:
+            return "TRUE"
+        name = self._var_names[self._level[f]]
+        return f"ite({name}, {self.to_expr(self._hi[f])}, {self.to_expr(self._lo[f])})"

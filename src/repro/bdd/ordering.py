@@ -1,0 +1,107 @@
+"""Static BDD variable-ordering heuristics.
+
+The original Getafix tool hands MUCKE a set of *allocation constraints*: a
+suggestion of which BDD variables should live next to each other, derived from
+the assignments in the Boolean program (variables assigned together are
+allocated together), which is the same heuristic used by BEBOP and MOPED v1.
+
+This module implements that heuristic in two layers:
+
+* :func:`interleave` — given groups of related variable names (for example the
+  current/primed/entry copies of the same program variable), produce a single
+  order in which the members of each group are adjacent.
+* :func:`order_from_affinity` — given pairwise affinities (how often two
+  variables occur in the same assignment/expression), greedily chain variables
+  so that strongly related variables end up close together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["interleave", "order_from_affinity", "validate_order"]
+
+
+def interleave(groups: Sequence[Sequence[str]]) -> List[str]:
+    """Interleave variable groups so members of each group stay adjacent.
+
+    ``groups`` is a sequence of variable-name groups; the result lists the
+    groups in order with each group's members consecutive.  Duplicate names
+    (a variable appearing in more than one group) keep their first position.
+
+    >>> interleave([["x", "x'"], ["y", "y'"]])
+    ['x', "x'", 'y', "y'"]
+    """
+    order: List[str] = []
+    seen: set = set()
+    for group in groups:
+        for name in group:
+            if name not in seen:
+                seen.add(name)
+                order.append(name)
+    return order
+
+
+def order_from_affinity(
+    variables: Iterable[str],
+    affinities: Dict[Tuple[str, str], int],
+) -> List[str]:
+    """Order variables so that pairs with high affinity are close together.
+
+    ``affinities`` maps unordered pairs ``(a, b)`` (in either orientation) to a
+    non-negative weight; higher means "keep closer".  The algorithm greedily
+    merges chains of variables, joining the two chains linked by the heaviest
+    remaining affinity edge at their nearest ends.  Variables with no
+    affinities are appended at the end in their input order.
+    """
+    variables = list(dict.fromkeys(variables))
+    index = {name: position for position, name in enumerate(variables)}
+    # Normalise affinity keys and drop self/unknown pairs.
+    edges: List[Tuple[int, str, str]] = []
+    for (a, b), weight in affinities.items():
+        if a == b or a not in index or b not in index or weight <= 0:
+            continue
+        edges.append((weight, a, b))
+    edges.sort(key=lambda edge: (-edge[0], index[edge[1]], index[edge[2]]))
+
+    # Union-find over chains, each chain kept as an explicit list.
+    chain_of: Dict[str, List[str]] = {name: [name] for name in variables}
+
+    def join(left: List[str], right: List[str], a: str, b: str) -> List[str]:
+        # Orient the chains so that ``a`` and ``b`` end up adjacent when possible.
+        if left[0] == a:
+            left = list(reversed(left))
+        if right[-1] == b:
+            right = list(reversed(right))
+        return left + right
+
+    for _, a, b in edges:
+        chain_a = chain_of[a]
+        chain_b = chain_of[b]
+        if chain_a is chain_b:
+            continue
+        # Only join at chain endpoints; interior variables stay where they are.
+        if a not in (chain_a[0], chain_a[-1]) or b not in (chain_b[0], chain_b[-1]):
+            continue
+        merged = join(chain_a, chain_b, a, b)
+        for name in merged:
+            chain_of[name] = merged
+
+    ordered: List[str] = []
+    seen: set = set()
+    for name in variables:
+        chain = chain_of[name]
+        if id(chain) in seen:
+            continue
+        seen.add(id(chain))
+        ordered.extend(chain)
+    return ordered
+
+
+def validate_order(order: Sequence[str]) -> List[str]:
+    """Check that an order has no duplicates and return it as a list."""
+    result = list(order)
+    if len(set(result)) != len(result):
+        duplicates = sorted({name for name in result if result.count(name) > 1})
+        raise ValueError(f"duplicate variables in order: {duplicates}")
+    return result

@@ -1,0 +1,149 @@
+"""Synthetic substitute for the SLAM device-driver suites.
+
+The paper's driver benchmarks (iscsiprt, floppy, iscsi, ...) are Boolean
+abstractions of Windows device drivers produced by SLAM's predicate
+abstraction: large programs with many procedures, a handful of status/lock
+globals, mostly deterministic control flow and a lock-usage or completion
+protocol whose violation is the target.  The original .bp files are not
+redistributable, so this generator produces programs with the same shape:
+
+* a dispatcher ``main`` that nondeterministically picks IRP handlers,
+* one handler procedure per "device request" that acquires the global lock,
+  toggles per-request status flags, calls shared helper procedures and
+  releases the lock,
+* a completion routine protected by ``assert`` statements encoding the lock
+  discipline; the *positive* variant plants exactly one handler that forgets
+  to release the lock before completing, the *negative* variant keeps the
+  discipline everywhere.
+
+Sizes (number of handlers, helper depth, flag count) are parameters, so the
+benchmark harness can sweep program size the way Figure 2 aggregates suites of
+different sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..boolprog import Program, parse_program
+
+__all__ = ["DriverSpec", "make_driver", "driver_suite"]
+
+
+@dataclass
+class DriverSpec:
+    """Size parameters of a generated driver benchmark."""
+
+    name: str
+    handlers: int = 4
+    flags: int = 3
+    helpers: int = 2
+    positive: bool = True
+
+    @property
+    def target(self) -> str:
+        return "error"
+
+
+def _helper(index: int, flags: int) -> str:
+    flag = index % max(1, flags)
+    return f"""
+    helper{index}(v) begin
+      decl tmp;
+      tmp := v ^ flag{flag};
+      if (tmp) then
+        flag{flag} := !flag{flag};
+      else
+        flag{flag} := v;
+      fi
+      return tmp;
+    end
+    """
+
+
+def _handler(index: int, spec: DriverSpec, buggy: bool) -> str:
+    flag = index % max(1, spec.flags)
+    helper = index % max(1, spec.helpers)
+    release = "" if buggy else "call release_lock();"
+    return f"""
+    handler{index}(arg) begin
+      decl ok, status;
+      call acquire_lock();
+      status := arg ^ flag{flag};
+      ok := helper{helper}(status);
+      if (ok) then
+        flag{flag} := T;
+      else
+        flag{flag} := F;
+      fi
+      {release}
+      call complete_request();
+    end
+    """
+
+
+def make_driver(spec: DriverSpec) -> Program:
+    """Generate one driver-shaped Boolean program."""
+    flags = " ".join(f"decl flag{i};" for i in range(spec.flags))
+    helpers = "\n".join(_helper(i, spec.flags) for i in range(spec.helpers))
+    buggy_handler = spec.handlers - 1 if spec.positive else -1
+    handlers = "\n".join(
+        _handler(i, spec, buggy=(i == buggy_handler)) for i in range(spec.handlers)
+    )
+    dispatch = "\n".join(
+        f"if (choice{i}) then call handler{i}(*); fi" for i in range(spec.handlers)
+    )
+    choices = ", ".join(f"choice{i}" for i in range(spec.handlers))
+    stars = ", ".join("*" for _ in range(spec.handlers))
+    source = f"""
+    decl lock;
+    {flags}
+
+    main() begin
+      decl {choices};
+      decl running;
+      running := T;
+      while (running) do
+        {choices} := {stars};
+        {dispatch}
+        running := *;
+      od
+    end
+
+    acquire_lock() begin
+      assume(!lock);
+      lock := T;
+    end
+
+    release_lock() begin
+      lock := F;
+    end
+
+    complete_request() begin
+      // The completion protocol: the lock must have been released before a
+      // request is completed.
+      assert(!lock);
+      lock := F;
+    end
+
+    {helpers}
+
+    {handlers}
+    """
+    return parse_program(source, name=spec.name)
+
+
+def driver_suite(positive: bool, sizes: List[int] = (2, 3, 4)) -> List[DriverSpec]:
+    """A suite of driver specs of increasing size and one polarity."""
+    suffix = "pos" if positive else "neg"
+    return [
+        DriverSpec(
+            name=f"driver-{suffix}-{size}",
+            handlers=size,
+            flags=min(4, size),
+            helpers=max(1, size // 2),
+            positive=positive,
+        )
+        for size in sizes
+    ]

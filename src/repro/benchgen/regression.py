@@ -1,0 +1,278 @@
+"""Synthetic substitute for the SLAM regression suite.
+
+The paper's first benchmark suite is a set of 177 small Boolean programs (99
+with a reachable target, 79 without) meant to test language-feature handling.
+The original files are not distributed, so this module generates a
+deterministic family of small programs with the same purpose: each template
+exercises one language feature (branching, loops, procedure calls, multiple
+return values, recursion, gotos, nondeterminism, asserts) and comes in a
+*positive* variant (target reachable) and a *negative* variant (target
+unreachable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..boolprog import Program, parse_program
+
+__all__ = ["RegressionCase", "regression_case", "regression_suite", "TEMPLATE_NAMES"]
+
+
+@dataclass
+class RegressionCase:
+    """One generated regression program with its expected verdict."""
+
+    name: str
+    program: Program
+    target: str
+    expected: bool
+
+
+def _branching(positive: bool) -> Tuple[str, str]:
+    condition = "x | y" if positive else "x & !x"
+    return (
+        f"""
+        decl g;
+        main() begin
+          decl x, y;
+          x := T;
+          y := *;
+          if ({condition}) then
+            target: skip;
+          else
+            skip;
+          fi
+        end
+        """,
+        "main:target",
+    )
+
+
+def _loops(positive: bool) -> Tuple[str, str]:
+    exit_value = "T" if positive else "F"
+    return (
+        f"""
+        main() begin
+          decl i, found;
+          i := T;
+          found := F;
+          while (i) do
+            i := *;
+            found := {exit_value};
+          od
+          if (found) then
+            target: skip;
+          fi
+        end
+        """,
+        "main:target",
+    )
+
+
+def _call_chain(positive: bool) -> Tuple[str, str]:
+    flip = "a" if positive else "!a"
+    return (
+        f"""
+        decl g;
+        main() begin
+          decl r;
+          r := level1(T);
+          if (r) then
+            target: skip;
+          fi
+        end
+        level1(a) begin
+          decl r;
+          r := level2({flip});
+          return r;
+        end
+        level2(b) begin
+          return b;
+        end
+        """,
+        "main:target",
+    )
+
+
+def _multi_return(positive: bool) -> Tuple[str, str]:
+    pick = "lo" if positive else "hi & lo"
+    return (
+        f"""
+        main() begin
+          decl hi, lo;
+          hi, lo := split(T);
+          if ({pick}) then
+            target: skip;
+          fi
+        end
+        split(a) begin
+          return !a, a;
+        end
+        """,
+        "main:target",
+    )
+
+
+def _recursion(positive: bool) -> Tuple[str, str]:
+    base = "T" if positive else "F"
+    return (
+        f"""
+        main() begin
+          decl r;
+          r := dig(*);
+          if (r) then
+            target: skip;
+          fi
+        end
+        dig(depth) begin
+          decl r;
+          if (depth) then
+            r := dig(*);
+            return r;
+          fi
+          return {base};
+        end
+        """,
+        "main:target",
+    )
+
+
+def _globals_and_calls(positive: bool) -> Tuple[str, str]:
+    setter = "T" if positive else "F"
+    return (
+        f"""
+        decl flag, shadow;
+        main() begin
+          call set_flag({setter});
+          call copy_flag();
+          if (shadow) then
+            target: skip;
+          fi
+        end
+        set_flag(v) begin
+          flag := v;
+        end
+        copy_flag() begin
+          shadow := flag;
+        end
+        """,
+        "main:target",
+    )
+
+
+def _goto_feature(positive: bool) -> Tuple[str, str]:
+    guard = "x" if positive else "!x"
+    return (
+        f"""
+        main() begin
+          decl x;
+          x := T;
+          if ({guard}) then
+            goto hit;
+          fi
+          goto finish;
+          hit: skip;
+          target: skip;
+          finish: skip;
+        end
+        """,
+        "main:target",
+    )
+
+
+def _assert_feature(positive: bool) -> Tuple[str, str]:
+    locked_twice = "call acquire(); call acquire();" if positive else "call acquire(); call release(); call acquire();"
+    return (
+        f"""
+        decl lock;
+        main() begin
+          {locked_twice}
+        end
+        acquire() begin
+          assert(!lock);
+          lock := T;
+        end
+        release() begin
+          lock := F;
+        end
+        """,
+        "error",
+    )
+
+
+def _assume_feature(positive: bool) -> Tuple[str, str]:
+    constraint = "x" if positive else "x & !x"
+    return (
+        f"""
+        main() begin
+          decl x;
+          x := *;
+          assume({constraint});
+          if (x) then
+            target: skip;
+          fi
+        end
+        """,
+        "main:target",
+    )
+
+
+def _nondet_parameters(positive: bool) -> Tuple[str, str]:
+    need = "a & b" if positive else "a & !a"
+    return (
+        f"""
+        main() begin
+          decl r;
+          r := both(*, *);
+          if (r) then
+            target: skip;
+          fi
+        end
+        both(a, b) begin
+          return {need};
+        end
+        """,
+        "main:target",
+    )
+
+
+_TEMPLATES: Dict[str, Callable[[bool], Tuple[str, str]]] = {
+    "branching": _branching,
+    "loops": _loops,
+    "call_chain": _call_chain,
+    "multi_return": _multi_return,
+    "recursion": _recursion,
+    "globals": _globals_and_calls,
+    "goto": _goto_feature,
+    "assert": _assert_feature,
+    "assume": _assume_feature,
+    "nondet_params": _nondet_parameters,
+}
+
+TEMPLATE_NAMES = tuple(_TEMPLATES)
+
+
+def regression_case(template: str, positive: bool) -> RegressionCase:
+    """Build a single regression case from a template name and polarity."""
+    if template not in _TEMPLATES:
+        raise KeyError(f"unknown regression template {template!r}")
+    source, target = _TEMPLATES[template](positive)
+    suffix = "pos" if positive else "neg"
+    name = f"regression-{template}-{suffix}"
+    return RegressionCase(
+        name=name,
+        program=parse_program(source, name=name),
+        target=target,
+        expected=positive,
+    )
+
+
+def regression_suite(positive: bool, count: int = len(_TEMPLATES)) -> List[RegressionCase]:
+    """A list of ``count`` regression cases of one polarity (cycling templates)."""
+    names = list(_TEMPLATES)
+    cases = []
+    for index in range(count):
+        cases.append(regression_case(names[index % len(names)], positive))
+    return cases

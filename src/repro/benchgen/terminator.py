@@ -1,0 +1,134 @@
+"""Synthetic substitute for the TERMINATOR benchmarks.
+
+The paper's TERMINATOR programs are Boolean abstractions produced while
+proving termination: relatively few procedures, many global "ranking" bits and
+complex loop structure, which makes the reachable-state BDDs much larger than
+for the driver suites (and is where GETAFIX beats the other tools).  This
+generator reproduces that shape: a multi-bit counter encoded in Boolean
+globals is manipulated by nested loops and a recursive "decrease" procedure;
+the target asks whether a (parity/overflow) condition is reachable.
+
+Each benchmark comes in the paper's two encodings of the ``dead`` statement:
+
+* ``iterative`` — dead variables are re-assigned one by one through
+  conditional statements,
+* ``schoose`` — dead variables are reset with a single nondeterministic
+  assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..boolprog import Program, parse_program
+
+__all__ = ["TerminatorSpec", "make_terminator", "terminator_suite"]
+
+
+@dataclass
+class TerminatorSpec:
+    """Parameters of a generated TERMINATOR-like benchmark."""
+
+    name: str
+    counter_bits: int = 3
+    variant: str = "schoose"  # or "iterative"
+    positive: bool = True
+
+    @property
+    def target(self) -> str:
+        return "main:target"
+
+
+def _increment(bits: int) -> str:
+    """A ripple-carry increment of the global counter c0..c{bits-1}."""
+    lines = []
+    carry = "T"
+    updates = []
+    for index in range(bits):
+        updates.append(f"c{index} ^ ({carry})")
+        carry = f"({carry}) & c{index}"
+    targets = ", ".join(f"c{i}" for i in range(bits))
+    values = ", ".join(updates)
+    lines.append(f"{targets} := {values};")
+    return "\n".join(lines)
+
+
+def _reset(bits: int, variant: str) -> str:
+    """Reset the scratch bits, in the paper's two styles of handling `dead`."""
+    if variant == "schoose":
+        targets = ", ".join(f"s{i}" for i in range(bits))
+        stars = ", ".join("*" for _ in range(bits))
+        return f"{targets} := {stars};"
+    lines = []
+    for index in range(bits):
+        lines.append(f"if (*) then s{index} := T; else s{index} := F; fi")
+    return "\n".join(lines)
+
+
+def make_terminator(spec: TerminatorSpec) -> Program:
+    """Generate one TERMINATOR-like Boolean program."""
+    bits = spec.counter_bits
+    counter_decl = " ".join(f"decl c{i};" for i in range(bits))
+    scratch_decl = " ".join(f"decl s{i};" for i in range(bits))
+    all_high = " & ".join(f"c{i}" for i in range(bits))
+    # In the negative variant the loop exits before the counter can saturate.
+    guard = "T" if spec.positive else f"!c{bits - 1}"
+    source = f"""
+    {counter_decl}
+    {scratch_decl}
+    decl phase;
+
+    main() begin
+      decl rounds, go;
+      rounds := T;
+      while (rounds) do
+        go := ranked({guard});
+        if (go) then
+          {_increment(bits)}
+        fi
+        {_reset(bits, spec.variant)}
+        call mix();
+        if ({all_high}) then
+          target: skip;
+        fi
+        rounds := *;
+      od
+    end
+
+    ranked(enable) begin
+      decl keep;
+      keep := enable & !phase;
+      phase := !phase;
+      if (keep) then
+        return T;
+      fi
+      return enable & phase;
+    end
+
+    mix() begin
+      decl any;
+      any := {" | ".join(f"s{i}" for i in range(bits))};
+      if (any) then
+        phase := !phase;
+      fi
+    end
+    """
+    return parse_program(source, name=spec.name)
+
+
+def terminator_suite(counter_bits: List[int] = (2, 3), positive: bool = True) -> List[TerminatorSpec]:
+    """Both encoding variants for a range of counter widths."""
+    specs = []
+    for bits in counter_bits:
+        for variant in ("iterative", "schoose"):
+            suffix = "pos" if positive else "neg"
+            specs.append(
+                TerminatorSpec(
+                    name=f"terminator-{variant}-{bits}b-{suffix}",
+                    counter_bits=bits,
+                    variant=variant,
+                    positive=positive,
+                )
+            )
+    return specs

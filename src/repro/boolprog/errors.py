@@ -1,0 +1,27 @@
+"""Errors raised by the Boolean-program front end."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["BoolProgError", "ParseError", "StaticError"]
+
+
+class BoolProgError(Exception):
+    """Base class for Boolean-program front-end errors."""
+
+
+class ParseError(BoolProgError):
+    """A syntax error, with an optional source position."""
+
+    def __init__(self, message: str, line: Optional[int] = None, column: Optional[int] = None):
+        location = "" if line is None else f" at line {line}" + (
+            "" if column is None else f", column {column}"
+        )
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class StaticError(BoolProgError):
+    """A static-semantics error (undeclared variable, arity mismatch, ...)."""

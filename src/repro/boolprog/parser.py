@@ -1,0 +1,399 @@
+"""Recursive-descent parser for Boolean programs (sequential and concurrent)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Assert,
+    Assign,
+    Assume,
+    BinOp,
+    Call,
+    CallAssign,
+    Expr,
+    Goto,
+    If,
+    Lit,
+    Nondet,
+    NotE,
+    Procedure,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    VarRef,
+    While,
+)
+from .concurrent import ConcurrentProgram, Thread
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+__all__ = ["parse_program", "parse_concurrent_program", "parse_expression"]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "EOF":
+            self.position += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if not self.check(kind, text):
+            expected = text if text is not None else kind
+            raise ParseError(
+                f"expected {expected!r} but found {token.text!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def keyword(self, word: str) -> bool:
+        return self.check("KEYWORD", word)
+
+    def expect_keyword(self, word: str) -> Token:
+        return self.expect("KEYWORD", word)
+
+    # -- declarations ------------------------------------------------------
+    def parse_decl(self) -> List[str]:
+        self.expect_keyword("decl")
+        names = [self.expect("IDENT").text]
+        while self.accept(","):
+            names.append(self.expect("IDENT").text)
+        self.expect(";")
+        return names
+
+    # -- programs ----------------------------------------------------------
+    def parse_program(self, name: str = "program") -> Program:
+        globals_: List[str] = []
+        while self.keyword("decl"):
+            globals_.extend(self.parse_decl())
+        procedures = {}
+        while self.check("IDENT"):
+            procedure = self.parse_procedure()
+            if procedure.name in procedures:
+                raise ParseError(f"procedure {procedure.name!r} defined twice")
+            procedures[procedure.name] = procedure
+        self.expect("EOF")
+        return Program(globals=globals_, procedures=procedures, name=name)
+
+    def parse_concurrent_program(self, name: str = "program") -> ConcurrentProgram:
+        shared: List[str] = []
+        while self.keyword("shared"):
+            self.advance()
+            shared.extend(self.parse_decl())
+        init: dict = {}
+        while self.keyword("init"):
+            self.advance()
+            while True:
+                variable = self.expect("IDENT").text
+                self.expect(":=")
+                if self.accept("KEYWORD", "T"):
+                    init[variable] = True
+                elif self.accept("KEYWORD", "F"):
+                    init[variable] = False
+                else:
+                    token = self.peek()
+                    raise ParseError(
+                        "init values must be T or F", token.line, token.column
+                    )
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        threads: List[Thread] = []
+        while self.keyword("thread"):
+            self.advance()
+            thread_name = self.expect("IDENT").text
+            self.expect_keyword("begin")
+            globals_: List[str] = []
+            while self.keyword("decl"):
+                globals_.extend(self.parse_decl())
+            procedures = {}
+            while self.check("IDENT"):
+                procedure = self.parse_procedure()
+                if procedure.name in procedures:
+                    raise ParseError(
+                        f"procedure {procedure.name!r} defined twice in thread {thread_name!r}"
+                    )
+                procedures[procedure.name] = procedure
+            self.expect_keyword("end")
+            threads.append(
+                Thread(
+                    name=thread_name,
+                    program=Program(globals=globals_, procedures=procedures, name=thread_name),
+                )
+            )
+        self.expect("EOF")
+        if not threads:
+            raise ParseError("a concurrent program needs at least one thread")
+        unknown = set(init) - set(shared)
+        if unknown:
+            raise ParseError(f"init mentions non-shared variables {sorted(unknown)}")
+        return ConcurrentProgram(shared=shared, threads=threads, name=name, init=init)
+
+    # -- procedures ----------------------------------------------------------
+    def parse_procedure(self) -> Procedure:
+        name = self.expect("IDENT").text
+        self.expect("(")
+        params: List[str] = []
+        if self.check("IDENT"):
+            params.append(self.advance().text)
+            while self.accept(","):
+                params.append(self.expect("IDENT").text)
+        self.expect(")")
+        self.expect_keyword("begin")
+        locals_: List[str] = []
+        while self.keyword("decl"):
+            locals_.extend(self.parse_decl())
+        body = self.parse_statements(terminators=("end",))
+        self.expect_keyword("end")
+        num_returns = self._infer_returns(name, body)
+        return Procedure(name=name, params=params, locals=locals_, body=body, num_returns=num_returns)
+
+    def _infer_returns(self, name: str, body: List[Stmt]) -> int:
+        counts = set()
+
+        def walk(statements: List[Stmt]) -> None:
+            for statement in statements:
+                if isinstance(statement, Return):
+                    counts.add(len(statement.values))
+                elif isinstance(statement, If):
+                    walk(statement.then_branch)
+                    walk(statement.else_branch)
+                elif isinstance(statement, While):
+                    walk(statement.body)
+
+        walk(body)
+        if not counts:
+            return 0
+        if len(counts) > 1:
+            raise ParseError(
+                f"procedure {name!r} has return statements with different arities {sorted(counts)}"
+            )
+        return counts.pop()
+
+    # -- statements -------------------------------------------------------------
+    def parse_statements(self, terminators: Tuple[str, ...]) -> List[Stmt]:
+        statements: List[Stmt] = []
+        while not (self.check("KEYWORD") and self.peek().text in terminators):
+            if self.check("EOF"):
+                token = self.peek()
+                raise ParseError("unexpected end of input inside a block", token.line, token.column)
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> Stmt:
+        label = None
+        if self.check("IDENT") and self.peek(1).kind == ":":
+            label = self.advance().text
+            self.advance()  # the ':'
+        statement = self._parse_unlabelled()
+        statement.label = label
+        return statement
+
+    def _parse_unlabelled(self) -> Stmt:
+        token = self.peek()
+        if self.keyword("skip"):
+            self.advance()
+            self.expect(";")
+            return Skip()
+        if self.keyword("call"):
+            self.advance()
+            callee = self.expect("IDENT").text
+            args = self.parse_call_args()
+            self.expect(";")
+            return Call(callee=callee, args=args)
+        if self.keyword("return"):
+            self.advance()
+            values: List[Expr] = []
+            if not self.check(";"):
+                values.append(self.parse_expression())
+                while self.accept(","):
+                    values.append(self.parse_expression())
+            self.expect(";")
+            return Return(values=values)
+        if self.keyword("if"):
+            return self.parse_if()
+        if self.keyword("while"):
+            return self.parse_while()
+        if self.keyword("goto"):
+            self.advance()
+            target = self.expect("IDENT").text
+            self.expect(";")
+            return Goto(target=target)
+        if self.keyword("assert"):
+            self.advance()
+            self.expect("(")
+            condition = self.parse_expression()
+            self.expect(")")
+            self.expect(";")
+            return Assert(condition=condition)
+        if self.keyword("assume"):
+            self.advance()
+            self.expect("(")
+            condition = self.parse_expression()
+            self.expect(")")
+            self.expect(";")
+            return Assume(condition=condition)
+        if self.check("IDENT"):
+            return self.parse_assignment()
+        raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)
+
+    def parse_if(self) -> If:
+        self.expect_keyword("if")
+        self.expect("(")
+        condition = self.parse_expression()
+        self.expect(")")
+        self.expect_keyword("then")
+        then_branch = self.parse_statements(terminators=("else", "fi"))
+        else_branch: List[Stmt] = []
+        if self.keyword("else"):
+            self.advance()
+            else_branch = self.parse_statements(terminators=("fi",))
+        self.expect_keyword("fi")
+        self.accept(";")
+        return If(condition=condition, then_branch=then_branch, else_branch=else_branch)
+
+    def parse_while(self) -> While:
+        self.expect_keyword("while")
+        self.expect("(")
+        condition = self.parse_expression()
+        self.expect(")")
+        self.expect_keyword("do")
+        body = self.parse_statements(terminators=("od",))
+        self.expect_keyword("od")
+        self.accept(";")
+        return While(condition=condition, body=body)
+
+    def parse_assignment(self) -> Stmt:
+        targets = [self.expect("IDENT").text]
+        while self.accept(","):
+            targets.append(self.expect("IDENT").text)
+        self.expect(":=")
+        # Call-assign when the right-hand side is `proc(...)`.
+        if self.check("IDENT") and self.peek(1).kind == "(":
+            callee = self.advance().text
+            args = self.parse_call_args()
+            self.expect(";")
+            return CallAssign(targets=targets, callee=callee, args=args)
+        values = [self.parse_expression()]
+        while self.accept(","):
+            values.append(self.parse_expression())
+        self.expect(";")
+        if len(values) != len(targets):
+            raise ParseError(
+                f"assignment to {len(targets)} variables needs {len(targets)} expressions, "
+                f"got {len(values)}"
+            )
+        return Assign(targets=targets, values=values)
+
+    def parse_call_args(self) -> List[Expr]:
+        self.expect("(")
+        args: List[Expr] = []
+        if not self.check(")"):
+            args.append(self.parse_expression())
+            while self.accept(","):
+                args.append(self.parse_expression())
+        self.expect(")")
+        return args
+
+    # -- expressions --------------------------------------------------------------
+    # Precedence (tightest first): ! , & , ^ , | , == / !=
+    def parse_expression(self) -> Expr:
+        return self.parse_equality()
+
+    def parse_equality(self) -> Expr:
+        left = self.parse_or()
+        while self.check("==") or self.check("!="):
+            op = self.advance().kind
+            right = self.parse_or()
+            left = BinOp(op=op, left=left, right=right)
+        return left
+
+    def parse_or(self) -> Expr:
+        left = self.parse_xor()
+        while self.check("|"):
+            self.advance()
+            right = self.parse_xor()
+            left = BinOp(op="|", left=left, right=right)
+        return left
+
+    def parse_xor(self) -> Expr:
+        left = self.parse_and()
+        while self.check("^"):
+            self.advance()
+            right = self.parse_and()
+            left = BinOp(op="^", left=left, right=right)
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_unary()
+        while self.check("&"):
+            self.advance()
+            right = self.parse_unary()
+            left = BinOp(op="&", left=left, right=right)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.check("!"):
+            self.advance()
+            return NotE(self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if self.keyword("T"):
+            self.advance()
+            return Lit(True)
+        if self.keyword("F"):
+            self.advance()
+            return Lit(False)
+        if self.check("*"):
+            self.advance()
+            return Nondet()
+        if self.check("("):
+            self.advance()
+            inner = self.parse_expression()
+            self.expect(")")
+            return inner
+        if self.check("IDENT"):
+            return VarRef(self.advance().text)
+        raise ParseError(f"unexpected token {token.text!r} in expression", token.line, token.column)
+
+
+def parse_program(source: str, name: str = "program") -> Program:
+    """Parse a sequential Boolean program from source text."""
+    return _Parser(tokenize(source)).parse_program(name=name)
+
+
+def parse_concurrent_program(source: str, name: str = "program") -> ConcurrentProgram:
+    """Parse a concurrent Boolean program (shared decls + thread blocks)."""
+    return _Parser(tokenize(source)).parse_concurrent_program(name=name)
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a single Boolean expression (used in tests and tooling)."""
+    parser = _Parser(tokenize(source))
+    expression = parser.parse_expression()
+    parser.expect("EOF")
+    return expression

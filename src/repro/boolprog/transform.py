@@ -1,0 +1,161 @@
+"""Program transformations: variable/call renaming and thread merging.
+
+Two consumers need source-to-source rewrites:
+
+* the concurrent encoder and the Lal–Reps sequentialisation merge the threads
+  of a concurrent program into one sequential program whose procedures carry
+  the thread name as a prefix (:func:`merge_threads`);
+* generators and the sequentialisation rename variables inside statements and
+  expressions (:func:`rename_in_expr`, :func:`rename_in_stmt`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .ast import (
+    Assert,
+    Assign,
+    Assume,
+    BinOp,
+    Call,
+    CallAssign,
+    Expr,
+    Goto,
+    If,
+    Lit,
+    Nondet,
+    NotE,
+    Procedure,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    VarRef,
+    While,
+)
+from .concurrent import ConcurrentProgram
+
+__all__ = ["rename_in_expr", "rename_in_stmt", "rename_procedure", "merge_threads"]
+
+
+def rename_in_expr(expression: Expr, variables: Dict[str, str]) -> Expr:
+    """Return a copy of the expression with variables renamed."""
+    if isinstance(expression, (Lit, Nondet)):
+        return expression
+    if isinstance(expression, VarRef):
+        return VarRef(variables.get(expression.name, expression.name))
+    if isinstance(expression, NotE):
+        return NotE(rename_in_expr(expression.operand, variables))
+    if isinstance(expression, BinOp):
+        return BinOp(
+            op=expression.op,
+            left=rename_in_expr(expression.left, variables),
+            right=rename_in_expr(expression.right, variables),
+        )
+    raise TypeError(f"cannot rename in expression {expression!r}")
+
+
+def rename_in_stmt(
+    statement: Stmt,
+    variables: Dict[str, str],
+    calls: Dict[str, str],
+) -> Stmt:
+    """Return a copy of the statement with variables and callees renamed."""
+
+    def expr(expression: Expr) -> Expr:
+        return rename_in_expr(expression, variables)
+
+    def name(variable: str) -> str:
+        return variables.get(variable, variable)
+
+    if isinstance(statement, Skip):
+        result: Stmt = Skip()
+    elif isinstance(statement, Assign):
+        result = Assign(
+            targets=[name(target) for target in statement.targets],
+            values=[expr(value) for value in statement.values],
+        )
+    elif isinstance(statement, CallAssign):
+        result = CallAssign(
+            targets=[name(target) for target in statement.targets],
+            callee=calls.get(statement.callee, statement.callee),
+            args=[expr(argument) for argument in statement.args],
+        )
+    elif isinstance(statement, Call):
+        result = Call(
+            callee=calls.get(statement.callee, statement.callee),
+            args=[expr(argument) for argument in statement.args],
+        )
+    elif isinstance(statement, Return):
+        result = Return(values=[expr(value) for value in statement.values])
+    elif isinstance(statement, If):
+        result = If(
+            condition=expr(statement.condition),
+            then_branch=[rename_in_stmt(s, variables, calls) for s in statement.then_branch],
+            else_branch=[rename_in_stmt(s, variables, calls) for s in statement.else_branch],
+        )
+    elif isinstance(statement, While):
+        result = While(
+            condition=expr(statement.condition),
+            body=[rename_in_stmt(s, variables, calls) for s in statement.body],
+        )
+    elif isinstance(statement, Goto):
+        result = Goto(target=statement.target)
+    elif isinstance(statement, Assert):
+        result = Assert(condition=expr(statement.condition))
+    elif isinstance(statement, Assume):
+        result = Assume(condition=expr(statement.condition))
+    else:
+        raise TypeError(f"cannot rename in statement {statement!r}")
+    result.label = statement.label
+    return result
+
+
+def rename_procedure(
+    procedure: Procedure,
+    new_name: str,
+    variables: Dict[str, str],
+    calls: Dict[str, str],
+) -> Procedure:
+    """Return a renamed copy of a procedure (locals keep their names)."""
+    return Procedure(
+        name=new_name,
+        params=list(procedure.params),
+        locals=list(procedure.locals),
+        body=[rename_in_stmt(statement, variables, calls) for statement in procedure.body],
+        num_returns=procedure.num_returns,
+    )
+
+
+def merge_threads(program: ConcurrentProgram) -> Tuple[Program, List[str]]:
+    """Merge a concurrent program's threads into one sequential program.
+
+    Every procedure of thread ``T`` becomes ``T__<proc>``; thread-private
+    globals become ``T__<name>``.  The returned pair is the merged program and
+    the list of merged main-procedure names, one per thread (in thread order).
+    The merged program's own ``main`` is the first thread's main, which is
+    only relevant for consumers that need a syntactically complete sequential
+    program.
+    """
+    globals_: List[str] = list(program.shared)
+    procedures: Dict[str, Procedure] = {}
+    thread_mains: List[str] = []
+    for thread in program.threads:
+        prefix = thread.name
+        private_map = {name: f"{prefix}__{name}" for name in thread.program.globals}
+        globals_.extend(private_map.values())
+        call_map = {name: f"{prefix}__{name}" for name in thread.program.procedures}
+        for proc_name, procedure in thread.program.procedures.items():
+            merged_name = call_map[proc_name]
+            procedures[merged_name] = rename_procedure(
+                procedure, merged_name, private_map, call_map
+            )
+        thread_mains.append(call_map[thread.program.main])
+    merged = Program(
+        globals=globals_,
+        procedures=procedures,
+        main=thread_mains[0],
+        name=f"{program.name}__merged",
+    )
+    return merged, thread_mains

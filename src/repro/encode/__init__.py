@@ -1,0 +1,19 @@
+"""Symbolic encoding of Boolean programs into template relations."""
+
+from .statespace import StateSpace
+from .expressions import ChoicePool, VariableResolver, compile_expr
+from .templates import SequentialEncoder, TemplateSet
+from .concurrent import ConcurrentEncoder, ConcurrentTemplateSet
+from .allocation import affinity_order
+
+__all__ = [
+    "StateSpace",
+    "ChoicePool",
+    "VariableResolver",
+    "compile_expr",
+    "SequentialEncoder",
+    "TemplateSet",
+    "ConcurrentEncoder",
+    "ConcurrentTemplateSet",
+    "affinity_order",
+]

@@ -1,0 +1,94 @@
+"""BDD variable-allocation hints derived from the program text.
+
+Getafix hands MUCKE a set of allocation constraints computed by "a simple
+algorithm which looks at the assignments in the program, and tries to allocate
+the variables involved in the assignment together" (Section 6.1) — the same
+heuristic used by BEBOP and MOPED v1.  This module reproduces that heuristic:
+it measures how often two program variables occur in the same assignment (or
+guard) and produces an ordering of the *globals-struct fields* in which highly
+related variables are adjacent.  The orderer in
+:mod:`repro.fixedpoint.symbolic` then interleaves the state copies, so related
+bits of every copy end up close together.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+from ..bdd import order_from_affinity
+from ..boolprog.ast import (
+    Assert,
+    Assign,
+    Assume,
+    Call,
+    CallAssign,
+    If,
+    Program,
+    Return,
+    Stmt,
+    While,
+)
+
+__all__ = ["affinity_order", "variable_affinities"]
+
+
+def variable_affinities(program: Program) -> Dict[Tuple[str, str], int]:
+    """Count how often two variables appear together in a statement."""
+    counts: Dict[Tuple[str, str], int] = {}
+
+    def bump(names: List[str]) -> None:
+        for left, right in combinations(sorted(set(names)), 2):
+            counts[(left, right)] = counts.get((left, right), 0) + 1
+
+    def statement_vars(statement: Stmt) -> List[str]:
+        if isinstance(statement, Assign):
+            names = list(statement.targets)
+            for expression in statement.values:
+                names.extend(expression.variables())
+            return names
+        if isinstance(statement, CallAssign):
+            names = list(statement.targets)
+            for expression in statement.args:
+                names.extend(expression.variables())
+            return names
+        if isinstance(statement, Call):
+            names = []
+            for expression in statement.args:
+                names.extend(expression.variables())
+            return names
+        if isinstance(statement, Return):
+            names = []
+            for expression in statement.values:
+                names.extend(expression.variables())
+            return names
+        if isinstance(statement, (Assert, Assume)):
+            return list(statement.condition.variables())
+        if isinstance(statement, (If, While)):
+            return list(statement.condition.variables())
+        return []
+
+    def walk(statements: List[Stmt]) -> None:
+        for statement in statements:
+            bump(statement_vars(statement))
+            if isinstance(statement, If):
+                walk(statement.then_branch)
+                walk(statement.else_branch)
+            elif isinstance(statement, While):
+                walk(statement.body)
+
+    for procedure in program.procedures.values():
+        walk(procedure.body)
+    return counts
+
+
+def affinity_order(program: Program) -> List[str]:
+    """Order the program's global variables so related globals are adjacent."""
+    affinities = variable_affinities(program)
+    global_names = list(program.globals)
+    relevant = {
+        pair: weight
+        for pair, weight in affinities.items()
+        if pair[0] in global_names and pair[1] in global_names
+    }
+    return order_from_affinity(global_names, relevant)

@@ -1,0 +1,91 @@
+"""The fixed-point calculus: the paper's "high-level programming language".
+
+This package provides:
+
+* typed finite sorts (:mod:`~repro.fixedpoint.sorts`),
+* terms and formulas (:mod:`~repro.fixedpoint.terms`,
+  :mod:`~repro.fixedpoint.formulas`),
+* relation declarations and equation systems
+  (:mod:`~repro.fixedpoint.relations`),
+* two evaluation backends — symbolic/BDD and explicit
+  (:mod:`~repro.fixedpoint.symbolic`, :mod:`~repro.fixedpoint.explicit`),
+* the paper's algorithmic (nested Tarskian) evaluation semantics and a
+  simultaneous-iteration mode (:mod:`~repro.fixedpoint.evaluator`).
+"""
+
+from .sorts import BOOL, BoolSort, EnumSort, Sort, StructSort
+from .terms import Const, Field, Term, Var, as_term
+from .formulas import (
+    FALSE,
+    TRUE,
+    And,
+    BoolAtom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Le,
+    Lt,
+    Not,
+    Or,
+    RelApp,
+    Succ,
+    all_vars,
+    free_vars,
+    relations_of,
+)
+from .relations import Equation, EquationSystem, RelationDecl
+from .evaluator import (
+    EvaluationError,
+    EvaluationResult,
+    evaluate_nested,
+    evaluate_simultaneous,
+)
+from .symbolic import SymbolicBackend, SymbolicContext, default_bit_order
+from .explicit import ExplicitBackend, relation_from_predicate
+
+__all__ = [
+    "BOOL",
+    "BoolSort",
+    "EnumSort",
+    "Sort",
+    "StructSort",
+    "Const",
+    "Field",
+    "Term",
+    "Var",
+    "as_term",
+    "TRUE",
+    "FALSE",
+    "And",
+    "BoolAtom",
+    "Eq",
+    "Exists",
+    "Forall",
+    "Formula",
+    "Iff",
+    "Implies",
+    "Le",
+    "Lt",
+    "Not",
+    "Or",
+    "RelApp",
+    "Succ",
+    "all_vars",
+    "free_vars",
+    "relations_of",
+    "Equation",
+    "EquationSystem",
+    "RelationDecl",
+    "EvaluationError",
+    "EvaluationResult",
+    "evaluate_nested",
+    "evaluate_simultaneous",
+    "SymbolicBackend",
+    "SymbolicContext",
+    "default_bit_order",
+    "ExplicitBackend",
+    "relation_from_predicate",
+]

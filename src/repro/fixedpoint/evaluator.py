@@ -1,0 +1,210 @@
+"""Evaluation strategies for equation systems.
+
+Two strategies are provided, both parametric in the backend (symbolic or
+explicit):
+
+* :func:`evaluate_nested` — the *algorithmic semantics* of the paper
+  (Section 3): to evaluate a relation ``R`` defined by ``R = B``, start from
+  the empty interpretation, and in every round re-evaluate every relation that
+  occurs in ``B`` (with ``R`` frozen to its current value) before recomputing
+  ``R`` itself; stop when ``R`` stabilises.  This semantics gives meaning to
+  *non-monotone* systems such as the optimised entry-forward algorithm
+  (Section 4.3), where the auxiliary ``Relevant`` relation uses negation.
+* :func:`evaluate_simultaneous` — standard chaotic iteration of all equations
+  at once, valid (and typically faster) for monotone systems; used as a
+  cross-check in the tests.
+
+Both return an :class:`EvaluationResult` containing the final interpretations
+and iteration statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from .relations import EquationSystem
+
+__all__ = ["EvaluationError", "EvaluationResult", "evaluate_nested", "evaluate_simultaneous"]
+
+
+class EvaluationError(Exception):
+    """Raised when evaluation exceeds its iteration budget (non-termination guard)."""
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating an equation system.
+
+    Attributes
+    ----------
+    target:
+        Name of the relation that was requested.
+    interpretations:
+        Final interpretation of the target relation and (for the nested
+        strategy) the last computed value of every auxiliary relation.
+    iterations:
+        Number of outer iterations performed for the target relation.
+    equation_evaluations:
+        Total number of equation-body evaluations across all relations.
+    elapsed_seconds:
+        Wall-clock evaluation time.
+    stopped_early:
+        True when a ``stop`` predicate ended the iteration before a fixed
+        point was reached.
+    """
+
+    target: str
+    interpretations: Dict[str, Any]
+    iterations: int
+    equation_evaluations: int
+    elapsed_seconds: float
+    stopped_early: bool = False
+
+    @property
+    def value(self) -> Any:
+        """The interpretation computed for the target relation."""
+        return self.interpretations[self.target]
+
+
+def evaluate_nested(
+    system: EquationSystem,
+    target: str,
+    backend: Any,
+    inputs: Mapping[str, Any],
+    max_iterations: int = 10_000,
+    stop: Optional[Callable[[Mapping[str, Any]], bool]] = None,
+) -> EvaluationResult:
+    """Evaluate ``target`` using the paper's nested ``Evaluate`` algorithm.
+
+    Parameters
+    ----------
+    system:
+        The equation system.
+    target:
+        Name of the relation to compute.
+    backend:
+        A backend exposing ``empty``, ``equal`` and ``eval_equation``.
+    inputs:
+        Interpretations of every input relation of the system.
+    max_iterations:
+        Safety bound on outer iterations of any single relation; exceeded
+        bounds raise :class:`EvaluationError` (the paper's semantics does not
+        guarantee termination for non-monotone systems).
+    stop:
+        Optional early-termination predicate, called after every outer
+        iteration of the *target* relation with the current interpretations;
+        returning True ends the evaluation (used for "stop as soon as the goal
+        is known reachable").
+    """
+    missing = set(system.inputs) - set(inputs)
+    if missing:
+        raise ValueError(f"missing interpretations for input relations: {sorted(missing)}")
+    start = time.perf_counter()
+    stats = {"evaluations": 0}
+    interpretations: Dict[str, Any] = {}
+    stopped = {"early": False}
+
+    def evaluate(name: str, fixed: Dict[str, Any], depth: int) -> Any:
+        equation = system.equation(name)
+        current = backend.empty(equation.decl)
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > max_iterations:
+                raise EvaluationError(
+                    f"relation {name!r} did not stabilise within {max_iterations} iterations"
+                )
+            env = dict(fixed)
+            env[name] = current
+            for other in sorted(system.dependencies(name)):
+                if other == name or other in fixed:
+                    continue
+                env[other] = evaluate(other, env, depth + 1)
+            stats["evaluations"] += 1
+            updated = backend.eval_equation(equation, env)
+            interpretations.update(
+                {key: value for key, value in env.items() if key in system.equations}
+            )
+            interpretations[name] = updated
+            if depth == 0 and stop is not None and stop(interpretations):
+                stopped["early"] = True
+                current = updated
+                break
+            if backend.equal(updated, current):
+                current = updated
+                break
+            current = updated
+        if depth == 0:
+            interpretations["__iterations__"] = iterations
+        return current
+
+    fixed_inputs = dict(inputs)
+    value = evaluate(target, fixed_inputs, 0)
+    iterations = interpretations.pop("__iterations__", 0)
+    interpretations[target] = value
+    return EvaluationResult(
+        target=target,
+        interpretations=interpretations,
+        iterations=iterations,
+        equation_evaluations=stats["evaluations"],
+        elapsed_seconds=time.perf_counter() - start,
+        stopped_early=stopped["early"],
+    )
+
+
+def evaluate_simultaneous(
+    system: EquationSystem,
+    target: str,
+    backend: Any,
+    inputs: Mapping[str, Any],
+    max_iterations: int = 10_000,
+    stop: Optional[Callable[[Mapping[str, Any]], bool]] = None,
+) -> EvaluationResult:
+    """Evaluate all equations by simultaneous (chaotic) iteration.
+
+    All defined relations start empty and are re-evaluated in declaration
+    order until none of them changes.  This is the textbook Knaster–Tarski
+    iteration and computes the least fixed point for monotone systems; it is
+    *not* appropriate for the non-monotone optimised entry-forward algorithm.
+    """
+    missing = set(system.inputs) - set(inputs)
+    if missing:
+        raise ValueError(f"missing interpretations for input relations: {sorted(missing)}")
+    if target not in system.equations:
+        raise KeyError(f"no equation defines relation {target!r}")
+    start = time.perf_counter()
+    interpretations: Dict[str, Any] = dict(inputs)
+    for name, equation in system.equations.items():
+        interpretations[name] = backend.empty(equation.decl)
+    iterations = 0
+    evaluations = 0
+    stopped_early = False
+    while True:
+        iterations += 1
+        if iterations > max_iterations:
+            raise EvaluationError(
+                f"system did not stabilise within {max_iterations} iterations"
+            )
+        changed = False
+        for name, equation in system.equations.items():
+            evaluations += 1
+            updated = backend.eval_equation(equation, interpretations)
+            if not backend.equal(updated, interpretations[name]):
+                changed = True
+            interpretations[name] = updated
+        if stop is not None and stop(interpretations):
+            stopped_early = True
+            break
+        if not changed:
+            break
+    defined = {name: interpretations[name] for name in system.equations}
+    return EvaluationResult(
+        target=target,
+        interpretations=defined,
+        iterations=iterations,
+        equation_evaluations=evaluations,
+        elapsed_seconds=time.perf_counter() - start,
+        stopped_early=stopped_early,
+    )

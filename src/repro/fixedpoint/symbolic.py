@@ -1,0 +1,378 @@
+"""Symbolic (BDD) backend of the fixed-point calculus.
+
+This is the reproduction's stand-in for MUCKE's evaluation core: formulas are
+compiled into ROBDDs over *bit variables*, one bit per Boolean component of
+each typed variable (``u`` of sort ``Conf`` owns bits ``u.pc.0``, ``u.L.x``,
+...).  Relation interpretations are BDDs over the bits of the relation's
+*canonical parameter variables* (the parameter names used in its
+declaration); applying a relation to other argument terms renames or
+constrains those bits accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..bdd import BddManager
+from .formulas import (
+    And,
+    BoolAtom,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Le,
+    Lt,
+    Not,
+    Or,
+    RelApp,
+    Succ,
+    Top,
+    all_vars,
+)
+from .relations import Equation, EquationSystem, RelationDecl
+from .sorts import BoolSort, EnumSort, Sort, StructSort
+from .terms import Const, Field, Term, Var
+
+__all__ = ["SymbolicContext", "SymbolicBackend", "default_bit_order"]
+
+
+def default_bit_order(variables: Sequence[Var]) -> List[str]:
+    """Interleaved default ordering of the bits of a set of typed variables.
+
+    Bits are grouped by their *path* (the part after the variable prefix), so
+    that the corresponding components of different state copies sit next to
+    each other — the standard good ordering for symbolic transition relations
+    and the analogue of the "allocation constraints" Getafix hands to MUCKE.
+    """
+    path_rank: Dict[str, int] = {}
+    var_rank: Dict[str, int] = {}
+    bits: List[Tuple[str, str]] = []  # (path, full bit name)
+    for var in variables:
+        name = var.__dict__["name"]
+        if name in var_rank:
+            continue
+        var_rank[name] = len(var_rank)
+        for path, bit in zip(var.sort.bit_paths(), var.bit_names()):
+            if path not in path_rank:
+                path_rank[path] = len(path_rank)
+            bits.append((path, bit))
+    bits.sort(key=lambda item: (path_rank[item[0]], var_rank[item[1].split(".", 1)[0]]))
+    return [bit for _, bit in bits]
+
+
+class SymbolicContext:
+    """Owns the BDD manager and the typed-variable-to-bits mapping."""
+
+    def __init__(
+        self,
+        variables: Sequence[Var],
+        order: Optional[Sequence[str]] = None,
+        manager: Optional[BddManager] = None,
+    ) -> None:
+        self.variables: Dict[str, Var] = {}
+        for var in variables:
+            self._record(var)
+        if order is None:
+            order = default_bit_order(list(self.variables.values()))
+        known_bits = {
+            bit for var in self.variables.values() for bit in var.bit_names()
+        }
+        missing = known_bits - set(order)
+        extra = [name for name in order if name not in known_bits]
+        if extra:
+            raise ValueError(f"order mentions unknown bits: {sorted(extra)[:5]}")
+        full_order = list(order) + sorted(missing)
+        self.manager = manager if manager is not None else BddManager(full_order)
+        if manager is not None:
+            for bit in full_order:
+                if bit not in manager.var_names:
+                    manager.add_var(bit)
+        self._domain_cache: Dict[str, int] = {}
+
+    def _record(self, var: Var) -> None:
+        name = var.__dict__["name"]
+        existing = self.variables.get(name)
+        if existing is not None:
+            if existing.sort != var.sort:
+                raise TypeError(
+                    f"typed variable {name!r} declared with two different sorts"
+                )
+            return
+        self.variables[name] = var
+
+    # -- term-level helpers ---------------------------------------------
+    def bits_of(self, term: Term) -> List[str]:
+        """Bit names of a variable/field term."""
+        return term.bit_names()
+
+    def var_node(self, bit_name: str) -> int:
+        """BDD node for a single bit."""
+        return self.manager.var(bit_name)
+
+    def encode_cube(self, term: Term, value: Any) -> int:
+        """The cube asserting that ``term`` equals the constant ``value``."""
+        bits = term.bit_names()
+        encoded = term.sort.encode(value)
+        return self.manager.cube(dict(zip(bits, encoded)))
+
+    def domain_constraint(self, term: Term) -> int:
+        """BDD constraining ``term`` to valid values of its sort.
+
+        Only enum sorts whose size is not a power of two produce a non-trivial
+        constraint; everything else is TRUE.
+        """
+        key = ".".join(term.bit_names()) + ":" + term.sort.name
+        cached = self._domain_cache.get(key)
+        if cached is not None:
+            return cached
+        node = self._domain_constraint(term.sort, term.bit_names())
+        self._domain_cache[key] = node
+        return node
+
+    def _domain_constraint(self, sort: Sort, bits: Sequence[str]) -> int:
+        mgr = self.manager
+        if isinstance(sort, BoolSort):
+            return mgr.TRUE
+        if isinstance(sort, EnumSort):
+            if sort.size() == (1 << sort.width):
+                return mgr.TRUE
+            return mgr.disjoin(
+                mgr.cube(dict(zip(bits, sort.encode(value)))) for value in sort.values()
+            )
+        if isinstance(sort, StructSort):
+            node = mgr.TRUE
+            offset = 0
+            for _, field_sort in sort.fields:
+                width = field_sort.width
+                node = mgr.and_(
+                    node, self._domain_constraint(field_sort, bits[offset : offset + width])
+                )
+                offset += width
+            return node
+        raise TypeError(f"unknown sort {sort!r}")
+
+    def decode_assignment(self, term: Term, assignment: Mapping[str, bool]) -> Any:
+        """Decode the value of ``term`` from a bit assignment (by bit name)."""
+        bits = [bool(assignment.get(name, False)) for name in term.bit_names()]
+        return term.sort.decode(bits)
+
+
+class SymbolicBackend:
+    """Evaluates calculus formulas and equations as BDDs.
+
+    Parameters
+    ----------
+    system:
+        The equation system whose relations will be evaluated.
+    extra_variables:
+        Additional typed variables to allocate bits for (for example the
+        canonical parameters used by an encoder when building the input
+        relations) beyond those appearing in the equations.
+    order:
+        Optional explicit bit order; defaults to :func:`default_bit_order`.
+    """
+
+    def __init__(
+        self,
+        system: EquationSystem,
+        extra_variables: Sequence[Var] = (),
+        order: Optional[Sequence[str]] = None,
+        context: Optional[SymbolicContext] = None,
+    ) -> None:
+        self.system = system
+        variables: List[Var] = []
+        for equation in system.equations.values():
+            variables.extend(equation.decl.param_vars())
+            variables.extend(all_vars(equation.body).values())
+        for decl in system.inputs.values():
+            variables.extend(decl.param_vars())
+        variables.extend(extra_variables)
+        self.context = context if context is not None else SymbolicContext(variables, order=order)
+        self.manager = self.context.manager
+
+    # -- backend protocol -------------------------------------------------
+    def empty(self, decl: RelationDecl) -> int:
+        """The empty interpretation (used to start fixed-point iteration)."""
+        return self.manager.FALSE
+
+    def equal(self, left: int, right: int) -> bool:
+        """Interpretation equality (BDDs are canonical, so node equality)."""
+        return left == right
+
+    def eval_equation(self, equation: Equation, interps: Mapping[str, int]) -> int:
+        """Evaluate the body of an equation under the given interpretations."""
+        return self.eval_formula(equation.body, interps)
+
+    # -- formula compilation ----------------------------------------------
+    def eval_formula(self, formula: Formula, interps: Mapping[str, int]) -> int:
+        """Compile a formula to a BDD over the bits of its free variables."""
+        mgr = self.manager
+        if isinstance(formula, Top):
+            return mgr.TRUE
+        if isinstance(formula, Bottom):
+            return mgr.FALSE
+        if isinstance(formula, BoolAtom):
+            return self._bool_term(formula.term)
+        if isinstance(formula, Eq):
+            return self._equality(formula.left, formula.right)
+        if isinstance(formula, (Le, Lt, Succ)):
+            return self._enum_compare(formula)
+        if isinstance(formula, RelApp):
+            return self._rel_app(formula, interps)
+        if isinstance(formula, Not):
+            return mgr.not_(self.eval_formula(formula.body, interps))
+        if isinstance(formula, And):
+            return mgr.conjoin(self.eval_formula(part, interps) for part in formula.parts)
+        if isinstance(formula, Or):
+            return mgr.disjoin(self.eval_formula(part, interps) for part in formula.parts)
+        if isinstance(formula, Implies):
+            return mgr.implies(
+                self.eval_formula(formula.antecedent, interps),
+                self.eval_formula(formula.consequent, interps),
+            )
+        if isinstance(formula, Iff):
+            return mgr.iff(
+                self.eval_formula(formula.left, interps),
+                self.eval_formula(formula.right, interps),
+            )
+        if isinstance(formula, Exists):
+            body = self.eval_formula(formula.body, interps)
+            bits: List[str] = []
+            for var in formula.variables:
+                body = mgr.and_(body, self.context.domain_constraint(var))
+                bits.extend(var.bit_names())
+            return mgr.exists(body, bits)
+        if isinstance(formula, Forall):
+            body = self.eval_formula(formula.body, interps)
+            bits = []
+            for var in formula.variables:
+                body = mgr.or_(body, mgr.not_(self.context.domain_constraint(var)))
+                bits.extend(var.bit_names())
+            return mgr.forall(body, bits)
+        raise TypeError(f"cannot compile formula node {formula!r}")
+
+    # -- atoms -------------------------------------------------------------
+    def _bool_term(self, term: Term) -> int:
+        if isinstance(term, Const):
+            return self.manager.TRUE if term.value else self.manager.FALSE
+        (bit,) = term.bit_names()
+        return self.manager.var(bit)
+
+    def _equality(self, left: Term, right: Term) -> int:
+        mgr = self.manager
+        if isinstance(left, Const) and isinstance(right, Const):
+            return mgr.TRUE if left.value == right.value else mgr.FALSE
+        if isinstance(left, Const):
+            left, right = right, left
+        if isinstance(right, Const):
+            return self.context.encode_cube(left, right.value)
+        left_bits = left.bit_names()
+        right_bits = right.bit_names()
+        return mgr.conjoin(
+            mgr.iff(mgr.var(a), mgr.var(b)) for a, b in zip(left_bits, right_bits)
+        )
+
+    def _enum_compare(self, formula: Formula) -> int:
+        mgr = self.manager
+        left, right = formula.left, formula.right  # type: ignore[attr-defined]
+        sort: EnumSort = left.sort  # type: ignore[assignment]
+        if isinstance(formula, Le):
+            relation = lambda a, b: a <= b
+        elif isinstance(formula, Lt):
+            relation = lambda a, b: a < b
+        else:  # Succ
+            relation = lambda a, b: b == a + 1
+        disjuncts = []
+        for a in sort.values():
+            for b in sort.values():
+                if not relation(a, b):
+                    continue
+                cube = mgr.TRUE
+                cube = mgr.and_(cube, self._term_equals_value(left, a))
+                cube = mgr.and_(cube, self._term_equals_value(right, b))
+                if cube != mgr.FALSE:
+                    disjuncts.append(cube)
+        return mgr.disjoin(disjuncts)
+
+    def _term_equals_value(self, term: Term, value: Any) -> int:
+        if isinstance(term, Const):
+            return self.manager.TRUE if term.value == value else self.manager.FALSE
+        return self.context.encode_cube(term, value)
+
+    # -- relation application ------------------------------------------------
+    def _rel_app(self, formula: RelApp, interps: Mapping[str, int]) -> int:
+        mgr = self.manager
+        decl = formula.decl
+        if decl.name not in interps:
+            raise KeyError(f"no interpretation provided for relation {decl.name!r}")
+        node = interps[decl.name]
+        restrict: Dict[str, bool] = {}
+        rename: Dict[str, str] = {}
+        for (param_name, sort), arg in zip(decl.params, formula.args):
+            param_bits = Var(param_name, sort).bit_names()
+            if isinstance(arg, Const):
+                for bit, value in zip(param_bits, sort.encode(arg.value)):
+                    restrict[bit] = value
+            else:
+                for bit, target in zip(param_bits, arg.bit_names()):
+                    if bit != target:
+                        rename[bit] = target
+        if restrict:
+            node = mgr.restrict(node, restrict)
+        if not rename:
+            return node
+        targets = list(rename.values())
+        support = mgr.support_names(node)
+        injective = len(set(targets)) == len(targets)
+        clash = (set(targets) & support) - set(rename)
+        if injective and not clash:
+            return mgr.rename(node, rename)
+        # General (and always correct) fall-back: conjoin bit equalities and
+        # quantify the canonical parameter bits away.  If some source bit is
+        # also a rename target (the relation is applied to a permutation of
+        # its own parameters in a non-injective way), first move those source
+        # bits to dedicated temporary bits so the quantification cannot
+        # capture the targets.
+        overlap = set(rename) & set(targets)
+        if overlap:
+            stage_one: Dict[str, str] = {}
+            for bit in overlap:
+                temp = f"__tmp.{bit}"
+                if temp not in mgr.var_names:
+                    mgr.add_var(temp)
+                stage_one[bit] = temp
+            node = mgr.rename(node, stage_one)
+            rename = {stage_one.get(src, src): dst for src, dst in rename.items()}
+        equalities = mgr.conjoin(
+            mgr.iff(mgr.var(src), mgr.var(dst)) for src, dst in rename.items()
+        )
+        return mgr.and_exists(node, equalities, list(rename))
+
+    # -- result inspection -----------------------------------------------------
+    def models(self, node: int, decl: RelationDecl) -> Iterator[Tuple[Any, ...]]:
+        """Enumerate the tuples of a relation interpretation (decoded values)."""
+        params = decl.param_vars()
+        bits: List[str] = []
+        for var in params:
+            bits.extend(var.bit_names())
+        for assignment in self.manager.sat_all(node, bits):
+            named = {self.manager.var_name(index): value for index, value in assignment.items()}
+            values = tuple(self.context.decode_assignment(var, named) for var in params)
+            # Skip assignments whose enum bits encode out-of-range junk values.
+            if all(var.sort.is_valid(value) for var, value in zip(params, values)):
+                yield values
+
+    def count(self, node: int, decl: RelationDecl) -> int:
+        """Number of tuples in an interpretation (over the raw bit encoding)."""
+        bits: List[str] = []
+        for var in decl.param_vars():
+            bits.extend(var.bit_names())
+        return self.manager.count_sat(node, bits)
+
+    def node_count(self, node: int) -> int:
+        """BDD size of an interpretation."""
+        return self.manager.node_count(node)

@@ -1,0 +1,12 @@
+"""Tool front ends: the GETAFIX checker API and command-line interface."""
+
+from .getafix import check_concurrent_reachability, check_reachability, resolve_target
+from .cli import build_arg_parser, main
+
+__all__ = [
+    "check_concurrent_reachability",
+    "check_reachability",
+    "resolve_target",
+    "build_arg_parser",
+    "main",
+]

@@ -1,0 +1,91 @@
+"""Command-line interface: ``getafix <file> [--target ...] [--algorithm ...]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Optional
+
+from .getafix import check_concurrent_reachability, check_reachability
+
+__all__ = ["main", "build_arg_parser"]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``getafix`` command."""
+    parser = argparse.ArgumentParser(
+        prog="getafix",
+        description=(
+            "Reachability checker for recursive Boolean programs, implemented as "
+            "fixed-point formulas evaluated by a symbolic (BDD) solver."
+        ),
+    )
+    parser.add_argument("file", type=Path, help="Boolean program source file")
+    parser.add_argument(
+        "--target",
+        default="error",
+        help="'error', 'proc:label' (sequential) or 'thread:proc:label' (concurrent)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="ef-opt",
+        choices=["summary", "ef", "ef-opt"],
+        help="sequential reachability algorithm (ignored with --concurrent)",
+    )
+    parser.add_argument(
+        "--concurrent",
+        action="store_true",
+        help="treat the input as a concurrent program and use the bounded "
+        "context-switching algorithm",
+    )
+    parser.add_argument(
+        "--context-switches",
+        type=int,
+        default=2,
+        help="context-switch bound for --concurrent (default: 2)",
+    )
+    parser.add_argument(
+        "--no-early-stop",
+        action="store_true",
+        help="disable early termination when the target is found reachable",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the result as JSON")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``getafix`` command; returns the exit status."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    source = args.file.read_text()
+    if args.concurrent:
+        result = check_concurrent_reachability(
+            source,
+            target=args.target,
+            context_switches=args.context_switches,
+            early_stop=not args.no_early_stop,
+        )
+    else:
+        result = check_reachability(
+            source,
+            target=args.target,
+            algorithm=args.algorithm,
+            early_stop=not args.no_early_stop,
+        )
+    if args.json:
+        print(json.dumps(asdict(result), indent=2, default=str))
+    else:
+        answer = "YES: the target is reachable" if result.reachable else "NO: the target is unreachable"
+        print(answer)
+        print(
+            f"algorithm={result.algorithm} iterations={result.iterations} "
+            f"summary-BDD-nodes={result.summary_nodes} time={result.total_seconds:.3f}s"
+        )
+    return 0 if not result.reachable else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""GETAFIX: the user-facing reachability checker.
+
+The front end accepts program source text (or already-parsed programs), a
+friendly target specification and an algorithm name, and returns a
+:class:`~repro.algorithms.ReachabilityResult`.  Targets can be given as:
+
+* ``"error"`` — any assertion-failure location (the error location of every
+  procedure containing an ``assert``),
+* ``"proc:label"`` — a labelled statement of a procedure (for concurrent
+  programs: ``"thread:proc:label"``),
+* an explicit list of ``(module, pc)`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from ..algorithms import ReachabilityResult, run_concurrent, run_sequential
+from ..algorithms.engine import SEQUENTIAL_ALGORITHMS
+from ..boolprog import (
+    ConcurrentProgram,
+    Program,
+    build_cfg,
+    parse_concurrent_program,
+    parse_program,
+)
+from ..encode.concurrent import ConcurrentEncoder
+
+__all__ = ["check_reachability", "check_concurrent_reachability", "resolve_target"]
+
+TargetSpec = Union[str, Sequence[Tuple[int, int]], Sequence[str]]
+
+
+def _as_program(program: Union[str, Program]) -> Program:
+    if isinstance(program, Program):
+        return program
+    return parse_program(program)
+
+
+def _as_concurrent(program: Union[str, ConcurrentProgram]) -> ConcurrentProgram:
+    if isinstance(program, ConcurrentProgram):
+        return program
+    return parse_concurrent_program(program)
+
+
+def resolve_target(program: Program, target: TargetSpec) -> List[Tuple[int, int]]:
+    """Turn a friendly target specification into (module, pc) pairs."""
+    cfg = build_cfg(program)
+    if isinstance(target, str):
+        targets: List[str] = [target]
+    elif target and isinstance(target[0], str):
+        targets = list(target)  # type: ignore[arg-type]
+    else:
+        return [tuple(location) for location in target]  # type: ignore[list-item]
+    locations: List[Tuple[int, int]] = []
+    for item in targets:
+        if item == "error":
+            locations.extend(cfg.error_locations())
+            continue
+        if ":" not in item:
+            raise ValueError(
+                f"target {item!r} is neither 'error' nor of the form 'procedure:label'"
+            )
+        procedure, label = item.split(":", 1)
+        locations.append(cfg.label_location(procedure, label))
+    if not locations:
+        raise ValueError(f"target specification {target!r} matched no program location")
+    return locations
+
+
+def _resolve_concurrent_target(
+    program: ConcurrentProgram, target: TargetSpec
+) -> List[Tuple[int, int]]:
+    encoder = ConcurrentEncoder(program)
+    if isinstance(target, str):
+        targets: List[str] = [target]
+    elif target and isinstance(target[0], str):
+        targets = list(target)  # type: ignore[arg-type]
+    else:
+        return [tuple(location) for location in target]  # type: ignore[list-item]
+    locations: List[Tuple[int, int]] = []
+    for item in targets:
+        if item == "error":
+            locations.extend(encoder.error_locations())
+            continue
+        parts = item.split(":")
+        if len(parts) != 3:
+            raise ValueError(
+                f"concurrent target {item!r} must be 'error' or 'thread:procedure:label'"
+            )
+        locations.append(encoder.label_location(*parts))
+    if not locations:
+        raise ValueError(f"target specification {target!r} matched no program location")
+    return locations
+
+
+def check_reachability(
+    program: Union[str, Program],
+    target: TargetSpec = "error",
+    algorithm: str = "ef-opt",
+    early_stop: bool = True,
+) -> ReachabilityResult:
+    """Answer "is the target statement reachable?" for a sequential program.
+
+    ``algorithm`` is one of ``"summary"``, ``"ef"`` or ``"ef-opt"`` (the three
+    fixed-point formulations of Section 4, in increasing order of efficiency).
+    """
+    if algorithm not in SEQUENTIAL_ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose one of {sorted(SEQUENTIAL_ALGORITHMS)}"
+        )
+    parsed = _as_program(program)
+    locations = resolve_target(parsed, target)
+    return run_sequential(parsed, locations, algorithm=algorithm, early_stop=early_stop)
+
+
+def check_concurrent_reachability(
+    program: Union[str, ConcurrentProgram],
+    target: TargetSpec = "error",
+    context_switches: int = 2,
+    early_stop: bool = True,
+    count_states: bool = False,
+) -> ReachabilityResult:
+    """Bounded context-switching reachability for a concurrent program."""
+    parsed = _as_concurrent(program)
+    locations = _resolve_concurrent_target(parsed, target)
+    return run_concurrent(
+        parsed,
+        locations,
+        context_switches=context_switches,
+        early_stop=early_stop,
+        count_states=count_states,
+    )

@@ -1,0 +1,194 @@
+"""Tests for the explicit baseline engines (BEBOP-style and MOPED-style)."""
+
+import pytest
+
+from repro.baselines import BebopSolver, MopedSolver, run_bebop, run_moped
+from repro.baselines.semantics import ExplicitContext, eval_expr
+from repro.boolprog import build_cfg, parse_program
+from repro.boolprog.parser import parse_expression
+from repro.frontends import resolve_target
+
+SIMPLE = """
+decl g;
+main() begin
+  decl x;
+  x := T;
+  call raise_flag(x);
+  if (g) then
+    target: skip;
+  fi
+end
+raise_flag(v) begin
+  g := v;
+end
+"""
+
+RECURSIVE = """
+main() begin
+  decl r;
+  r := flip(T);
+  if (!r) then
+    hit: skip;
+  fi
+end
+flip(b) begin
+  decl r;
+  if (b) then
+    r := flip(!b);
+    return r;
+  fi
+  return b;
+end
+"""
+
+
+def targets(source, target):
+    program = parse_program(source)
+    return program, resolve_target(program, target)
+
+
+class TestExplicitSemantics:
+    @pytest.fixture()
+    def context(self):
+        return ExplicitContext(build_cfg(parse_program(SIMPLE)))
+
+    def test_initial_valuations(self, context):
+        assert context.initial_globals() == (False,)
+        assert context.initial_globals({"g": True}) == (True,)
+        assert context.initial_locals("main") == (False,)
+
+    def test_lookup(self, context):
+        assert context.lookup("main", "x", (True,), (False,)) is True
+        assert context.lookup("main", "g", (True,), (False,)) is False
+
+    def test_eval_expr_nondet(self, context):
+        expression = parse_expression("x & *")
+        values = eval_expr(expression, context, "main", (True,), (False,))
+        assert values == {True, False}
+        values = eval_expr(expression, context, "main", (False,), (False,))
+        assert values == {False}
+
+    def test_eval_expr_operators(self, context):
+        for text, expected in [
+            ("T | F", {True}),
+            ("T ^ T", {False}),
+            ("T == F", {False}),
+            ("T != F", {True}),
+            ("!x", {False}),
+        ]:
+            expression = parse_expression(text)
+            assert eval_expr(expression, context, "main", (True,), (False,)) == expected
+
+
+class TestBebop:
+    def test_positive(self):
+        program, locs = targets(SIMPLE, "main:target")
+        result = run_bebop(program, locs)
+        assert result.reachable
+        assert result.algorithm == "bebop-explicit"
+        assert result.summary_nodes > 0
+
+    def test_negative(self):
+        program, locs = targets(
+            """
+            decl g;
+            main() begin
+              if (g) then target: skip; fi
+            end
+            """,
+            "main:target",
+        )
+        assert not run_bebop(program, locs).reachable
+
+    def test_recursive_flip(self):
+        # flip(T) -> flip(F) -> returns F, so !r holds and `hit` is reachable.
+        program, locs = targets(RECURSIVE, "main:hit")
+        assert run_bebop(program, locs).reachable
+
+    def test_return_values_through_summaries(self):
+        program, locs = targets(
+            """
+            main() begin
+              decl a, b;
+              a, b := pair(T);
+              if (a & !b) then win: skip; fi
+            end
+            pair(x) begin return x, !x; end
+            """,
+            "main:win",
+        )
+        assert run_bebop(program, locs).reachable
+
+    def test_early_stop_flag(self):
+        program, locs = targets(SIMPLE, "main:target")
+        eager = BebopSolver(program).check(locs, early_stop=True)
+        full = BebopSolver(program).check(locs, early_stop=False)
+        assert eager.reachable and full.reachable
+        assert eager.iterations <= full.iterations
+
+
+class TestMoped:
+    def test_positive(self):
+        program, locs = targets(SIMPLE, "main:target")
+        result = run_moped(program, locs)
+        assert result.reachable
+        assert result.algorithm == "moped-post*"
+        assert result.details["automaton_transitions"] > 0
+
+    def test_negative(self):
+        program, locs = targets(
+            """
+            decl g;
+            main() begin
+              decl x;
+              x := g;
+              if (x) then target: skip; fi
+            end
+            """,
+            "main:target",
+        )
+        assert not run_moped(program, locs).reachable
+
+    def test_recursion_saturates(self):
+        # Unbounded recursion: the set of reachable configurations is infinite
+        # but the post* automaton is finite; saturation must terminate.
+        program, locs = targets(
+            """
+            decl hit;
+            main() begin
+              call spin(T);
+              if (hit) then target: skip; fi
+            end
+            spin(v) begin
+              hit := v;
+              if (*) then call spin(v); fi
+            end
+            """,
+            "main:target",
+        )
+        assert run_moped(program, locs).reachable
+
+    def test_agrees_with_bebop_on_handwritten_programs(self):
+        sources = [
+            (SIMPLE, "main:target"),
+            (RECURSIVE, "main:hit"),
+            (
+                """
+                decl a, b;
+                main() begin
+                  decl r;
+                  r := xor_global();
+                  if (r & a) then t: skip; fi
+                end
+                xor_global() begin
+                  a := !a;
+                  b := a ^ b;
+                  return b;
+                end
+                """,
+                "main:t",
+            ),
+        ]
+        for source, target in sources:
+            program, locs = targets(source, target)
+            assert run_bebop(program, locs).reachable == run_moped(program, locs).reachable

@@ -1,0 +1,157 @@
+"""Property-based tests: BDD operations agree with brute-force truth tables."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager
+
+VAR_NAMES = ["p", "q", "r", "s"]
+
+
+# ---------------------------------------------------------------------------
+# A tiny propositional expression AST evaluated both ways.
+# ---------------------------------------------------------------------------
+def expr_strategy():
+    leaves = st.sampled_from([("var", name) for name in VAR_NAMES] + [("const", True), ("const", False)])
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+            st.tuples(st.just("xor"), children, children),
+            st.tuples(st.just("ite"), children, children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def eval_concrete(expr, env):
+    tag = expr[0]
+    if tag == "var":
+        return env[expr[1]]
+    if tag == "const":
+        return expr[1]
+    if tag == "not":
+        return not eval_concrete(expr[1], env)
+    if tag == "and":
+        return eval_concrete(expr[1], env) and eval_concrete(expr[2], env)
+    if tag == "or":
+        return eval_concrete(expr[1], env) or eval_concrete(expr[2], env)
+    if tag == "xor":
+        return eval_concrete(expr[1], env) != eval_concrete(expr[2], env)
+    if tag == "ite":
+        return (
+            eval_concrete(expr[2], env)
+            if eval_concrete(expr[1], env)
+            else eval_concrete(expr[3], env)
+        )
+    raise AssertionError(tag)
+
+
+def build_bdd(expr, mgr):
+    tag = expr[0]
+    if tag == "var":
+        return mgr.var(expr[1])
+    if tag == "const":
+        return mgr.TRUE if expr[1] else mgr.FALSE
+    if tag == "not":
+        return mgr.not_(build_bdd(expr[1], mgr))
+    if tag == "and":
+        return mgr.and_(build_bdd(expr[1], mgr), build_bdd(expr[2], mgr))
+    if tag == "or":
+        return mgr.or_(build_bdd(expr[1], mgr), build_bdd(expr[2], mgr))
+    if tag == "xor":
+        return mgr.xor(build_bdd(expr[1], mgr), build_bdd(expr[2], mgr))
+    if tag == "ite":
+        return mgr.ite(
+            build_bdd(expr[1], mgr), build_bdd(expr[2], mgr), build_bdd(expr[3], mgr)
+        )
+    raise AssertionError(tag)
+
+
+def all_envs():
+    for values in itertools.product([False, True], repeat=len(VAR_NAMES)):
+        yield dict(zip(VAR_NAMES, values))
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr_strategy())
+def test_bdd_matches_truth_table(expr):
+    mgr = BddManager(VAR_NAMES)
+    node = build_bdd(expr, mgr)
+    for env in all_envs():
+        assert mgr.eval(node, env) == eval_concrete(expr, env)
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr_strategy())
+def test_count_sat_matches_enumeration(expr):
+    mgr = BddManager(VAR_NAMES)
+    node = build_bdd(expr, mgr)
+    expected = sum(1 for env in all_envs() if eval_concrete(expr, env))
+    assert mgr.count_sat(node, VAR_NAMES) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr_strategy(), st.sampled_from(VAR_NAMES))
+def test_exists_matches_semantics(expr, var):
+    mgr = BddManager(VAR_NAMES)
+    node = build_bdd(expr, mgr)
+    quantified = mgr.exists(node, [var])
+    for env in all_envs():
+        expected = eval_concrete(expr, {**env, var: True}) or eval_concrete(
+            expr, {**env, var: False}
+        )
+        assert mgr.eval(quantified, env) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr_strategy(), st.sampled_from(VAR_NAMES))
+def test_forall_matches_semantics(expr, var):
+    mgr = BddManager(VAR_NAMES)
+    node = build_bdd(expr, mgr)
+    quantified = mgr.forall(node, [var])
+    for env in all_envs():
+        expected = eval_concrete(expr, {**env, var: True}) and eval_concrete(
+            expr, {**env, var: False}
+        )
+        assert mgr.eval(quantified, env) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr_strategy(), expr_strategy())
+def test_and_exists_equals_and_then_exists(left, right):
+    mgr = BddManager(VAR_NAMES)
+    f = build_bdd(left, mgr)
+    g = build_bdd(right, mgr)
+    qvars = ["p", "r"]
+    assert mgr.and_exists(f, g, qvars) == mgr.exists(mgr.and_(f, g), qvars)
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr_strategy())
+def test_sat_all_enumerates_exactly_the_models(expr):
+    mgr = BddManager(VAR_NAMES)
+    node = build_bdd(expr, mgr)
+    listed = {
+        tuple(model[mgr.var_index(name)] for name in VAR_NAMES)
+        for model in mgr.sat_all(node, VAR_NAMES)
+    }
+    expected = {
+        tuple(env[name] for name in VAR_NAMES)
+        for env in all_envs()
+        if eval_concrete(expr, env)
+    }
+    assert listed == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr_strategy())
+def test_rename_then_rename_back_is_identity(expr):
+    mgr = BddManager(VAR_NAMES + ["p2", "q2", "r2", "s2"])
+    node = build_bdd(expr, mgr)
+    forward = {name: name + "2" for name in VAR_NAMES}
+    backward = {name + "2": name for name in VAR_NAMES}
+    assert mgr.rename(mgr.rename(node, forward), backward) == node

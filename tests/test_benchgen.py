@@ -1,0 +1,121 @@
+"""Tests for the benchmark generators (the synthetic benchmark suites)."""
+
+import pytest
+
+from repro.baselines import run_bebop, run_concurrent_explicit
+from repro.benchgen import (
+    BLUETOOTH_CONFIGURATIONS,
+    TEMPLATE_NAMES,
+    driver_suite,
+    make_bluetooth,
+    make_driver,
+    make_terminator,
+    random_program,
+    regression_case,
+    regression_suite,
+    terminator_suite,
+)
+from repro.boolprog import check_concurrent_program, check_program
+from repro.encode.concurrent import ConcurrentEncoder
+from repro.frontends import check_reachability, resolve_target
+
+
+class TestRegressionSuite:
+    @pytest.mark.parametrize("template", TEMPLATE_NAMES)
+    @pytest.mark.parametrize("positive", [True, False])
+    def test_case_is_valid_and_has_expected_verdict(self, template, positive):
+        case = regression_case(template, positive)
+        check_program(case.program)
+        locations = resolve_target(case.program, case.target)
+        assert run_bebop(case.program, locations).reachable == case.expected
+
+    def test_suite_cycles_templates(self):
+        cases = regression_suite(positive=True, count=len(TEMPLATE_NAMES) + 3)
+        assert len(cases) == len(TEMPLATE_NAMES) + 3
+        assert cases[0].name != cases[1].name
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(KeyError):
+            regression_case("no-such-template", True)
+
+
+class TestDriverSuite:
+    @pytest.mark.parametrize("positive", [True, False])
+    def test_generated_driver_verdict(self, positive):
+        spec = driver_suite(positive, sizes=[2])[0]
+        program = make_driver(spec)
+        check_program(program)
+        locations = resolve_target(program, spec.target)
+        assert run_bebop(program, locations).reachable == positive
+
+    def test_driver_scales_with_handlers(self):
+        small = make_driver(driver_suite(True, sizes=[2])[0])
+        large = make_driver(driver_suite(True, sizes=[4])[0])
+        assert len(large.procedures) > len(small.procedures)
+
+    def test_driver_getafix_agrees(self):
+        spec = driver_suite(True, sizes=[2])[0]
+        program = make_driver(spec)
+        result = check_reachability(program, target=spec.target, algorithm="ef-opt")
+        assert result.reachable
+
+
+class TestTerminatorSuite:
+    @pytest.mark.parametrize("variant", ["iterative", "schoose"])
+    @pytest.mark.parametrize("positive", [True, False])
+    def test_generated_terminator_verdict(self, variant, positive):
+        specs = [
+            spec
+            for spec in terminator_suite(counter_bits=[2], positive=positive)
+            if spec.variant == variant
+        ]
+        spec = specs[0]
+        program = make_terminator(spec)
+        check_program(program)
+        locations = resolve_target(program, spec.target)
+        assert run_bebop(program, locations).reachable == positive
+
+    def test_both_variants_generated(self):
+        variants = {spec.variant for spec in terminator_suite(counter_bits=[2])}
+        assert variants == {"iterative", "schoose"}
+
+
+class TestBluetooth:
+    def test_model_is_well_formed(self):
+        for adders, stoppers in BLUETOOTH_CONFIGURATIONS.values():
+            program = make_bluetooth(adders, stoppers)
+            check_concurrent_program(program)
+            assert program.num_threads == adders + stoppers
+
+    def test_figure3_bug_pattern_explicit(self):
+        """The qualitative Figure 3 pattern, checked with the explicit engine."""
+        expectations = {
+            (1, 1): {k: False for k in range(7)},
+            (1, 2): {2: False, 3: True, 6: True},
+            (2, 1): {3: False, 4: True},
+            (2, 2): {2: False, 3: True},
+        }
+        for (adders, stoppers), by_bound in expectations.items():
+            program = make_bluetooth(adders, stoppers)
+            encoder = ConcurrentEncoder(program)
+            locations = encoder.error_locations()
+            for bound, expected in by_bound.items():
+                result = run_concurrent_explicit(program, locations, context_switches=bound)
+                assert result.reachable == expected, (adders, stoppers, bound)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            make_bluetooth(0, 1)
+
+
+class TestRandomPrograms:
+    def test_deterministic_per_seed(self):
+        first = random_program(7)
+        second = random_program(7)
+        assert first.procedures.keys() == second.procedures.keys()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_programs_are_well_formed(self, seed):
+        program = random_program(seed)
+        check_program(program)
+        assert "main" in program.procedures

@@ -1,0 +1,152 @@
+"""Tests for control-flow-graph construction."""
+
+import pytest
+
+from repro.boolprog import StaticError, build_cfg, parse_program
+from repro.boolprog.cfg import ENTRY_PC, ERROR_PC, EXIT_PC, RETURN_SLOT_PREFIX
+
+
+def cfg_of(source: str):
+    return build_cfg(parse_program(source))
+
+
+class TestProcedureCfg:
+    def test_reserved_pcs(self):
+        cfg = cfg_of("main() begin skip; end")
+        main = cfg.procedure_cfg("main")
+        assert main.entry == ENTRY_PC == 0
+        assert main.exit == EXIT_PC == 1
+        assert main.error == ERROR_PC == 2
+        assert main.num_pcs >= 4
+
+    def test_straightline_edges(self):
+        cfg = cfg_of(
+            """
+            decl g;
+            main() begin
+              decl x;
+              x := T;
+              g := x;
+            end
+            """
+        )
+        main = cfg.procedure_cfg("main")
+        # entry -> assign -> assign -> fall-off-end edge to exit.
+        assert len(main.internal_edges) == 3
+        assert main.internal_edges[0].source == ENTRY_PC
+        assert main.internal_edges[-1].target == EXIT_PC
+
+    def test_if_produces_two_guarded_edges(self):
+        cfg = cfg_of(
+            """
+            main() begin
+              decl x;
+              if (x) then skip; else skip; fi
+            end
+            """
+        )
+        main = cfg.procedure_cfg("main")
+        guards = [edge for edge in main.internal_edges if edge.guard is not None]
+        assert len(guards) == 2
+
+    def test_while_produces_back_edge(self):
+        cfg = cfg_of(
+            """
+            main() begin
+              decl x;
+              while (x) do x := *; od
+            end
+            """
+        )
+        main = cfg.procedure_cfg("main")
+        assert any(edge.target == ENTRY_PC or edge.target < edge.source for edge in main.internal_edges)
+
+    def test_call_edges(self):
+        cfg = cfg_of(
+            """
+            main() begin
+              decl x;
+              x := f(T);
+              call g_proc(x);
+            end
+            f(a) begin return a; end
+            g_proc(b) begin skip; end
+            """
+        )
+        main = cfg.procedure_cfg("main")
+        assert len(main.call_edges) == 2
+        first, second = main.call_edges
+        assert first.callee == "f" and first.targets == ["x"]
+        assert second.callee == "g_proc" and second.targets == []
+
+    def test_return_slots(self):
+        cfg = cfg_of(
+            """
+            main() begin skip; end
+            pair(a) begin return a, !a; end
+            """
+        )
+        pair = cfg.procedure_cfg("pair")
+        assert f"{RETURN_SLOT_PREFIX}0" in pair.slot_of
+        assert f"{RETURN_SLOT_PREFIX}1" in pair.slot_of
+        return_edges = [edge for edge in pair.internal_edges if edge.target == EXIT_PC and edge.assigns]
+        assert return_edges and set(return_edges[0].assigns) == {"__ret0", "__ret1"}
+
+    def test_assert_creates_error_edge(self):
+        cfg = cfg_of(
+            """
+            decl g;
+            main() begin assert(!g); end
+            """
+        )
+        main = cfg.procedure_cfg("main")
+        assert main.has_asserts
+        assert any(edge.target == ERROR_PC for edge in main.internal_edges)
+        assert cfg.error_locations() == [(cfg.module_of("main"), ERROR_PC)]
+
+    def test_labels_and_goto(self):
+        cfg = cfg_of(
+            """
+            main() begin
+              decl x;
+              top: x := *;
+              goto top;
+            end
+            """
+        )
+        main = cfg.procedure_cfg("main")
+        label_pc = main.label_pc("top")
+        assert any(edge.target == label_pc and not edge.assigns for edge in main.internal_edges)
+        module, pc = cfg.label_location("main", "top")
+        assert module == cfg.module_of("main") and pc == label_pc
+
+    def test_unknown_goto_target_raises(self):
+        with pytest.raises(StaticError):
+            cfg_of("main() begin goto nowhere; end")
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(StaticError):
+            cfg_of("main() begin L: skip; L: skip; end")
+
+
+class TestProgramCfg:
+    def test_module_numbering(self):
+        cfg = cfg_of(
+            """
+            main() begin skip; end
+            helper() begin skip; end
+            """
+        )
+        assert cfg.module_of("main") == 0
+        assert cfg.module_of("helper") == 1
+        assert cfg.max_pc >= 4
+
+    def test_max_slots_counts_params_locals_and_returns(self):
+        cfg = cfg_of(
+            """
+            main() begin skip; end
+            wide(a, b) begin decl c, d; return a, b; end
+            """
+        )
+        # a, b, c, d plus two return slots.
+        assert cfg.max_slots == 6

@@ -1,0 +1,303 @@
+"""Tests for the Boolean-program lexer, parser and static checks."""
+
+import pytest
+
+from repro.boolprog import (
+    Assign,
+    Assert,
+    BinOp,
+    Call,
+    CallAssign,
+    Goto,
+    If,
+    Lit,
+    Nondet,
+    NotE,
+    ParseError,
+    Return,
+    Skip,
+    StaticError,
+    VarRef,
+    While,
+    check_concurrent_program,
+    check_program,
+    parse_concurrent_program,
+    parse_expression,
+    parse_program,
+    tokenize,
+)
+
+SIMPLE_PROGRAM = """
+// a tiny recursive program
+decl g;
+
+main() begin
+  decl x, y;
+  x, y := T, *;
+  if (x & !g) then
+    x := negate(y);
+  else
+    skip;
+  fi
+  while (y) do
+    y := *;
+  od
+  call set_global(x);
+  target: skip;
+end
+
+negate(a) begin
+  return !a;
+end
+
+set_global(p) begin
+  g := p;
+end
+"""
+
+
+class TestLexer:
+    def test_tokenizes_keywords_and_identifiers(self):
+        tokens = tokenize("decl x; main() begin skip; end")
+        kinds = [token.kind for token in tokens]
+        assert kinds[0] == "KEYWORD"
+        assert "IDENT" in kinds
+        assert kinds[-1] == "EOF"
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("// comment\n/* block\ncomment */ decl x;")
+        assert tokens[0].text == "decl"
+
+    def test_line_numbers(self):
+        tokens = tokenize("decl x;\n\nmain() begin end")
+        main_token = next(token for token in tokens if token.text == "main")
+        assert main_token.line == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("decl x; $")
+
+
+class TestExpressionParsing:
+    def test_precedence_and_over_or(self):
+        expression = parse_expression("a | b & c")
+        assert isinstance(expression, BinOp) and expression.op == "|"
+        assert isinstance(expression.right, BinOp) and expression.right.op == "&"
+
+    def test_not_binds_tightest(self):
+        expression = parse_expression("!a & b")
+        assert isinstance(expression, BinOp) and expression.op == "&"
+        assert isinstance(expression.left, NotE)
+
+    def test_equality_operators(self):
+        expression = parse_expression("a == b | c")
+        assert expression.op == "=="
+
+    def test_parentheses(self):
+        expression = parse_expression("a & (b | c)")
+        assert expression.op == "&"
+        assert isinstance(expression.right, BinOp) and expression.right.op == "|"
+
+    def test_constants_and_nondet(self):
+        assert parse_expression("T") == Lit(True)
+        assert parse_expression("F") == Lit(False)
+        assert isinstance(parse_expression("*"), Nondet)
+
+    def test_variables_collected(self):
+        expression = parse_expression("a & !b | (c ^ a)")
+        assert expression.variables() == {"a", "b", "c"}
+
+
+class TestProgramParsing:
+    def test_parses_simple_program(self):
+        program = parse_program(SIMPLE_PROGRAM)
+        assert program.globals == ["g"]
+        assert set(program.procedures) == {"main", "negate", "set_global"}
+        main = program.procedure("main")
+        assert main.locals == ["x", "y"]
+        assert main.params == []
+        assert program.procedure("negate").num_returns == 1
+        assert program.procedure("set_global").num_returns == 0
+
+    def test_statement_shapes(self):
+        program = parse_program(SIMPLE_PROGRAM)
+        body = program.procedure("main").body
+        assert isinstance(body[0], Assign)
+        assert isinstance(body[1], If)
+        assert isinstance(body[2], While)
+        assert isinstance(body[3], Call)
+        assert isinstance(body[4], Skip)
+        assert body[4].label == "target"
+
+    def test_call_assign_parsed(self):
+        program = parse_program(SIMPLE_PROGRAM)
+        then_branch = program.procedure("main").body[1].then_branch
+        assert isinstance(then_branch[0], CallAssign)
+        assert then_branch[0].callee == "negate"
+
+    def test_goto_assert_assume(self):
+        program = parse_program(
+            """
+            main() begin
+              decl x;
+              L: x := *;
+              assume(x);
+              assert(!x);
+              goto L;
+            end
+            """
+        )
+        body = program.procedure("main").body
+        assert body[0].label == "L"
+        assert isinstance(body[2], Assert)
+        assert isinstance(body[3], Goto)
+
+    def test_return_arity_conflict_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                """
+                main() begin skip; end
+                f() begin
+                  if (T) then return T; else return T, F; fi
+                end
+                """
+            )
+
+    def test_assignment_arity_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_program("main() begin decl x, y; x, y := T; end")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("main() begin skip end")
+
+
+class TestStaticChecks:
+    def test_valid_program_passes(self):
+        check_program(parse_program(SIMPLE_PROGRAM))
+
+    def test_undeclared_variable(self):
+        program = parse_program("main() begin x := T; end")
+        with pytest.raises(StaticError):
+            check_program(program)
+
+    def test_missing_main(self):
+        program = parse_program("f() begin skip; end")
+        with pytest.raises(StaticError):
+            check_program(program)
+
+    def test_call_arity_mismatch(self):
+        program = parse_program(
+            """
+            main() begin call f(T); end
+            f(a, b) begin skip; end
+            """
+        )
+        with pytest.raises(StaticError):
+            check_program(program)
+
+    def test_call_return_count_mismatch(self):
+        program = parse_program(
+            """
+            main() begin decl x; x := f(); end
+            f() begin return T, F; end
+            """
+        )
+        with pytest.raises(StaticError):
+            check_program(program)
+
+    def test_plain_call_to_returning_procedure_rejected(self):
+        program = parse_program(
+            """
+            main() begin call f(); end
+            f() begin return T; end
+            """
+        )
+        with pytest.raises(StaticError):
+            check_program(program)
+
+    def test_call_to_main_rejected(self):
+        program = parse_program(
+            """
+            main() begin call main(); end
+            """
+        )
+        with pytest.raises(StaticError):
+            check_program(program)
+
+    def test_local_shadowing_global_rejected(self):
+        program = parse_program(
+            """
+            decl g;
+            main() begin decl g; skip; end
+            """
+        )
+        with pytest.raises(StaticError):
+            check_program(program)
+
+    def test_unknown_goto_target(self):
+        program = parse_program("main() begin goto nowhere; end")
+        with pytest.raises(StaticError):
+            check_program(program)
+
+
+CONCURRENT_PROGRAM = """
+shared decl lock, stopped;
+
+thread adder begin
+  main() begin
+    decl mine;
+    mine := *;
+    call acquire();
+    assert(!stopped);
+    call release();
+  end
+  acquire() begin
+    assume(!lock);
+    lock := T;
+  end
+  release() begin
+    lock := F;
+  end
+end
+
+thread stopper begin
+  main() begin
+    stopped := T;
+  end
+end
+"""
+
+
+class TestConcurrentParsing:
+    def test_parses_threads_and_shared(self):
+        program = parse_concurrent_program(CONCURRENT_PROGRAM)
+        assert program.shared == ["lock", "stopped"]
+        assert [thread.name for thread in program.threads] == ["adder", "stopper"]
+        assert set(program.thread("adder").program.procedures) == {
+            "main",
+            "acquire",
+            "release",
+        }
+
+    def test_static_check(self):
+        check_concurrent_program(parse_concurrent_program(CONCURRENT_PROGRAM))
+
+    def test_thread_using_undeclared_shared_fails(self):
+        source = """
+        thread lonely begin
+          main() begin missing := T; end
+        end
+        """
+        with pytest.raises(StaticError):
+            check_concurrent_program(parse_concurrent_program(source))
+
+    def test_replicate(self):
+        program = parse_concurrent_program(CONCURRENT_PROGRAM)
+        bigger = program.replicate(program.thread("adder"), 2)
+        assert bigger.num_threads == 4
+        assert {thread.name for thread in bigger.threads} >= {"adder_1", "adder_2"}
+
+    def test_empty_concurrent_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_concurrent_program("shared decl x;")

@@ -1,0 +1,205 @@
+"""Evaluation tests: symbolic vs explicit backends, nested vs simultaneous modes."""
+
+import pytest
+
+from repro.fixedpoint import (
+    BOOL,
+    And,
+    EnumSort,
+    Eq,
+    Equation,
+    EquationSystem,
+    Exists,
+    ExplicitBackend,
+    Not,
+    Or,
+    RelationDecl,
+    StructSort,
+    SymbolicBackend,
+    Var,
+    evaluate_nested,
+    evaluate_simultaneous,
+    relation_from_predicate,
+)
+from repro.fixedpoint.evaluator import EvaluationError
+
+NODE = EnumSort("Node", 6)
+
+
+def make_reachability_system():
+    """Graph reachability written as a fixed-point equation (Section 3 example)."""
+    Reach = RelationDecl("Reach", [("u", NODE)])
+    Init = RelationDecl("Init", [("u", NODE)])
+    Trans = RelationDecl("Trans", [("u", NODE), ("v", NODE)])
+    u = Var("u", NODE)
+    x = Var("x", NODE)
+    body = Or(Init(u), Exists(x, And(Reach(x), Trans(x, u))))
+    system = EquationSystem([Equation(Reach, body)], inputs=[Init, Trans])
+    return system, Reach, Init, Trans
+
+
+GRAPH_EDGES = {(0, 1), (1, 2), (2, 3), (4, 5)}
+INITIAL_NODES = {0}
+EXPECTED_REACHABLE = {0, 1, 2, 3}
+
+
+class TestExplicitEvaluation:
+    def test_reachability_least_fixed_point(self):
+        system, Reach, Init, Trans = make_reachability_system()
+        backend = ExplicitBackend()
+        inputs = {
+            "Init": frozenset((n,) for n in INITIAL_NODES),
+            "Trans": frozenset(GRAPH_EDGES),
+        }
+        result = evaluate_nested(system, "Reach", backend, inputs)
+        assert {u for (u,) in result.value} == EXPECTED_REACHABLE
+        assert result.iterations >= 4
+
+    def test_simultaneous_matches_nested_for_monotone_system(self):
+        system, *_ = make_reachability_system()
+        backend = ExplicitBackend()
+        inputs = {
+            "Init": frozenset((n,) for n in INITIAL_NODES),
+            "Trans": frozenset(GRAPH_EDGES),
+        }
+        nested = evaluate_nested(system, "Reach", backend, inputs)
+        simultaneous = evaluate_simultaneous(system, "Reach", backend, inputs)
+        assert nested.value == simultaneous.value
+
+    def test_missing_input_raises(self):
+        system, *_ = make_reachability_system()
+        with pytest.raises(ValueError):
+            evaluate_nested(system, "Reach", ExplicitBackend(), {"Init": frozenset()})
+
+    def test_relation_from_predicate(self):
+        Trans = RelationDecl("Trans", [("u", NODE), ("v", NODE)])
+        interp = relation_from_predicate(Trans, lambda a, b: (a, b) in GRAPH_EDGES)
+        assert interp == frozenset(GRAPH_EDGES)
+
+    def test_early_stop(self):
+        system, *_ = make_reachability_system()
+        backend = ExplicitBackend()
+        inputs = {
+            "Init": frozenset((n,) for n in INITIAL_NODES),
+            "Trans": frozenset(GRAPH_EDGES),
+        }
+        result = evaluate_nested(
+            system,
+            "Reach",
+            backend,
+            inputs,
+            stop=lambda interps: any(u == 1 for (u,) in interps["Reach"]),
+        )
+        assert result.stopped_early
+        assert (1,) in result.value
+
+    def test_non_terminating_system_hits_iteration_bound(self):
+        Flip = RelationDecl("Flip", [("b", BOOL)])
+        b = Var("b", BOOL)
+        # Flip(b) = not Flip(b): classic non-monotone oscillation.
+        system = EquationSystem([Equation(Flip, Not(Flip(b)))])
+        with pytest.raises(EvaluationError):
+            evaluate_nested(system, "Flip", ExplicitBackend(), {}, max_iterations=10)
+
+
+class TestSymbolicEvaluation:
+    def _symbolic_inputs(self, backend):
+        mgr = backend.manager
+        u = Var("u", NODE)
+        v = Var("v", NODE)
+        init = mgr.disjoin(
+            backend.context.encode_cube(u, n) for n in INITIAL_NODES
+        )
+        trans = mgr.disjoin(
+            mgr.and_(backend.context.encode_cube(u, a), backend.context.encode_cube(v, b))
+            for a, b in GRAPH_EDGES
+        )
+        return {"Init": init, "Trans": trans}
+
+    def test_reachability_matches_explicit(self):
+        system, Reach, Init, Trans = make_reachability_system()
+        backend = SymbolicBackend(system)
+        inputs = self._symbolic_inputs(backend)
+        result = evaluate_nested(system, "Reach", backend, inputs)
+        reachable = {values[0] for values in backend.models(result.value, Reach)}
+        assert reachable == EXPECTED_REACHABLE
+
+    def test_symbolic_count(self):
+        system, Reach, *_ = make_reachability_system()
+        backend = SymbolicBackend(system)
+        inputs = self._symbolic_inputs(backend)
+        result = evaluate_nested(system, "Reach", backend, inputs)
+        assert backend.count(result.value, Reach) == len(EXPECTED_REACHABLE)
+
+    def test_simultaneous_symbolic(self):
+        system, Reach, *_ = make_reachability_system()
+        backend = SymbolicBackend(system)
+        inputs = self._symbolic_inputs(backend)
+        nested = evaluate_nested(system, "Reach", backend, inputs)
+        simultaneous = evaluate_simultaneous(system, "Reach", backend, inputs)
+        assert backend.equal(nested.value, simultaneous.value)
+
+
+class TestSymbolicStructsAndRepeatedArgs:
+    STATE = StructSort("S", [("pc", EnumSort("PC", 3)), ("flag", BOOL)])
+
+    def _system(self):
+        R = RelationDecl("R", [("a", self.STATE), ("b", self.STATE)])
+        Pairs = RelationDecl("Pairs", [("a", self.STATE), ("b", self.STATE)])
+        Diag = RelationDecl("Diag", [("a", self.STATE)])
+        a, b = Var("a", self.STATE), Var("b", self.STATE)
+        system = EquationSystem(
+            [
+                Equation(R, Pairs(a, b)),
+                # Diag(a) holds iff Pairs relates a to itself: repeated argument.
+                Equation(Diag, Pairs(a, a)),
+            ],
+            inputs=[Pairs],
+        )
+        return system, R, Pairs, Diag
+
+    def test_repeated_argument_application(self):
+        system, R, Pairs, Diag = self._system()
+        explicit = ExplicitBackend()
+        pair_set = frozenset(
+            {((0, True), (0, True)), ((1, False), (2, True)), ((2, False), (2, False))}
+        )
+        nested = evaluate_nested(system, "Diag", explicit, {"Pairs": pair_set})
+        expected_diag = {((0, True),), ((2, False),)}
+        assert set(nested.value) == expected_diag
+
+        symbolic = SymbolicBackend(system)
+        a, b = Var("a", self.STATE), Var("b", self.STATE)
+        pairs_node = symbolic.manager.disjoin(
+            symbolic.manager.and_(
+                symbolic.context.encode_cube(a, self.STATE.as_dict(left)),
+                symbolic.context.encode_cube(b, self.STATE.as_dict(right)),
+            )
+            for left, right in pair_set
+        )
+        result = evaluate_nested(system, "Diag", symbolic, {"Pairs": pairs_node})
+        models = {self.STATE.canonical(values[0]) for values in symbolic.models(result.value, Diag)}
+        assert models == {value[0] for value in expected_diag}
+
+
+class TestNonMonotoneNestedSemantics:
+    """A tiny non-monotone system exercising the nested algorithmic semantics."""
+
+    def test_frontier_style_system(self):
+        # Grow(n) accumulates nodes 0..4 one per outer iteration by adding the
+        # successor of the *frontier* (elements of Grow not in Done), where
+        # Done is re-evaluated each round from Grow using negation.
+        N = EnumSort("N", 6)
+        Grow = RelationDecl("Grow", [("n", N)])
+        New = RelationDecl("New", [("n", N)])
+        Step = RelationDecl("Step", [("m", N), ("n", N)])
+        n, m = Var("n", N), Var("m", N)
+        grow_eq = Equation(Grow, Or(Eq(n, 0), Grow(n), New(n)))
+        new_eq = Equation(New, Exists(m, And(Grow(m), Step(m, n), Not(Grow(n)))))
+        system = EquationSystem([grow_eq, new_eq], inputs=[Step])
+        chain = frozenset((i, i + 1) for i in range(5))
+        backend = ExplicitBackend()
+        result = evaluate_nested(system, "Grow", backend, {"Step": chain})
+        assert {v for (v,) in result.value} == {0, 1, 2, 3, 4, 5}
+        # One new node per outer iteration plus the stabilisation round.
+        assert result.iterations >= 6

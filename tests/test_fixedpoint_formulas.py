@@ -1,0 +1,150 @@
+"""Unit tests for terms, formulas and equation systems."""
+
+import pytest
+
+from repro.fixedpoint import (
+    BOOL,
+    And,
+    Const,
+    EnumSort,
+    Eq,
+    Equation,
+    EquationSystem,
+    Exists,
+    Lt,
+    Not,
+    Or,
+    RelationDecl,
+    StructSort,
+    Succ,
+    Var,
+    all_vars,
+    free_vars,
+    relations_of,
+)
+
+PC = EnumSort("PC", 4)
+STATE = StructSort("State", [("pc", PC), ("x", BOOL)])
+
+
+class TestTerms:
+    def test_var_bits(self):
+        u = Var("u", STATE)
+        assert u.bit_names() == ["u.pc.0", "u.pc.1", "u.x"]
+
+    def test_field_access(self):
+        u = Var("u", STATE)
+        assert u.pc.bit_names() == ["u.pc.0", "u.pc.1"]
+        assert u.x.bit_names() == ["u.x"]
+        assert u.pc.root_var() == u
+
+    def test_unknown_field_raises(self):
+        u = Var("u", STATE)
+        with pytest.raises(AttributeError):
+            _ = u.nonexistent
+
+    def test_field_on_scalar_raises(self):
+        b = Var("b", BOOL)
+        with pytest.raises(AttributeError):
+            _ = b.anything
+
+    def test_const_validation(self):
+        assert Const(PC, 3).value == 3
+        with pytest.raises(ValueError):
+            Const(PC, 4)
+
+
+class TestFormulas:
+    def test_eq_requires_matching_sorts(self):
+        u, v = Var("u", STATE), Var("v", STATE)
+        Eq(u, v)  # fine
+        with pytest.raises(TypeError):
+            Eq(u, Var("p", PC))
+
+    def test_eq_coerces_python_constants(self):
+        u = Var("u", STATE)
+        atom = Eq(u.pc, 2)
+        assert isinstance(atom.right, Const)
+        assert atom.right.value == 2
+        flag = Eq(u.x, True)
+        assert flag.right.value is True
+
+    def test_enum_atoms_reject_non_enum(self):
+        u = Var("u", STATE)
+        with pytest.raises(TypeError):
+            Lt(u.x, True)
+        Succ(u.pc, Var("q", PC))  # fine
+
+    def test_operator_overloading(self):
+        u = Var("u", STATE)
+        formula = Eq(u.pc, 1) & ~Eq(u.x, True) | Eq(u.pc, 0)
+        assert isinstance(formula, Or)
+
+    def test_and_flattens(self):
+        u = Var("u", STATE)
+        inner = And(Eq(u.pc, 0), Eq(u.x, True))
+        outer = And(inner, Eq(u.pc, 1))
+        assert len(outer.parts) == 3
+
+    def test_exists_binds(self):
+        u, v = Var("u", STATE), Var("v", STATE)
+        body = Exists(v, Eq(u.pc, v.pc))
+        assert set(free_vars(body)) == {"u"}
+        assert set(all_vars(body)) == {"u", "v"}
+
+    def test_conflicting_sorts_detected(self):
+        u_state = Var("u", STATE)
+        u_pc = Var("u", PC)
+        with pytest.raises(TypeError):
+            free_vars(And(Eq(u_state.pc, 0), Eq(u_pc, 0)))
+
+    def test_quantifier_rejects_duplicates(self):
+        v = Var("v", STATE)
+        with pytest.raises(ValueError):
+            Exists([v, Var("v", STATE)], Eq(v.pc, 0))
+
+
+class TestRelations:
+    def test_relation_application_checks_arity_and_sorts(self):
+        R = RelationDecl("R", [("u", STATE), ("v", STATE)])
+        u, v = Var("u", STATE), Var("v", STATE)
+        R(u, v)  # fine
+        with pytest.raises(TypeError):
+            R(u)
+        with pytest.raises(TypeError):
+            R(u, Var("p", PC))
+
+    def test_relations_of(self):
+        R = RelationDecl("R", [("u", STATE)])
+        S = RelationDecl("S", [("u", STATE)])
+        u = Var("u", STATE)
+        assert relations_of(Or(R(u), Not(S(u)))) == {"R", "S"}
+
+    def test_equation_free_variable_check(self):
+        R = RelationDecl("R", [("u", STATE)])
+        u, w = Var("u", STATE), Var("w", STATE)
+        Equation(R, Eq(u.pc, 0)).check()
+        with pytest.raises(ValueError):
+            Equation(R, Eq(w.pc, 0)).check()
+
+    def test_system_validation(self):
+        R = RelationDecl("R", [("u", STATE)])
+        Input = RelationDecl("Input", [("u", STATE)])
+        u = Var("u", STATE)
+        system = EquationSystem([Equation(R, Or(Input(u), R(u)))], inputs=[Input])
+        assert system.defined_names() == ["R"]
+        assert system.dependencies("R") == {"R"}
+        assert system.decl("Input") is Input
+
+    def test_system_rejects_unknown_relation(self):
+        R = RelationDecl("R", [("u", STATE)])
+        Mystery = RelationDecl("Mystery", [("u", STATE)])
+        u = Var("u", STATE)
+        with pytest.raises(ValueError):
+            EquationSystem([Equation(R, Mystery(u))], inputs=[])
+
+    def test_system_rejects_double_definition(self):
+        R = RelationDecl("R", [("u", STATE)])
+        u = Var("u", STATE)
+        with pytest.raises(ValueError):
+            EquationSystem([Equation(R, Eq(u.pc, 0)), Equation(R, Eq(u.pc, 1))])

@@ -1,0 +1,133 @@
+"""Tests for the GETAFIX front end and its command-line interface."""
+
+import json
+
+import pytest
+
+from repro.boolprog import parse_program
+from repro.frontends import build_arg_parser, check_reachability, main, resolve_target
+
+POSITIVE = """
+decl g;
+main() begin
+  g := T;
+  if (g) then target: skip; fi
+end
+"""
+
+NEGATIVE = """
+decl g;
+main() begin
+  if (g) then target: skip; fi
+end
+"""
+
+CONCURRENT = """
+shared decl a;
+init a := F;
+thread one begin
+  main() begin
+    if (a) then hit: skip; fi
+  end
+end
+thread two begin
+  main() begin a := T; end
+end
+"""
+
+
+class TestTargetResolution:
+    def test_label_target(self):
+        program = parse_program(POSITIVE)
+        locations = resolve_target(program, "main:target")
+        assert len(locations) == 1
+
+    def test_error_target_requires_asserts(self):
+        program = parse_program(POSITIVE)
+        with pytest.raises(ValueError):
+            resolve_target(program, "error")
+
+    def test_multiple_targets(self):
+        source = """
+        main() begin
+          a: skip;
+          b: skip;
+        end
+        """
+        program = parse_program(source)
+        locations = resolve_target(program, ["main:a", "main:b"])
+        assert len(locations) == 2
+
+    def test_explicit_locations_pass_through(self):
+        program = parse_program(POSITIVE)
+        assert resolve_target(program, [(0, 3)]) == [(0, 3)]
+
+    def test_malformed_target(self):
+        program = parse_program(POSITIVE)
+        with pytest.raises(ValueError):
+            resolve_target(program, "not-a-target")
+
+    def test_unknown_label(self):
+        program = parse_program(POSITIVE)
+        with pytest.raises(KeyError):
+            resolve_target(program, "main:missing")
+
+
+class TestCheckReachability:
+    def test_accepts_source_text(self):
+        assert check_reachability(POSITIVE, target="main:target").reachable
+
+    def test_accepts_parsed_program(self):
+        program = parse_program(NEGATIVE)
+        assert not check_reachability(program, target="main:target").reachable
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            check_reachability(POSITIVE, target="main:target", algorithm="quantum")
+
+
+class TestCli:
+    def test_arg_parser_defaults(self):
+        args = build_arg_parser().parse_args(["program.bp"])
+        assert args.algorithm == "ef-opt"
+        assert args.target == "error"
+        assert not args.concurrent
+
+    def test_sequential_run(self, tmp_path, capsys):
+        path = tmp_path / "prog.bp"
+        path.write_text(POSITIVE)
+        status = main([str(path), "--target", "main:target"])
+        captured = capsys.readouterr().out
+        assert "YES" in captured
+        assert status == 1  # reachable targets exit with 1 (a defect was found)
+
+    def test_negative_run_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "prog.bp"
+        path.write_text(NEGATIVE)
+        status = main([str(path), "--target", "main:target", "--algorithm", "ef"])
+        assert "NO" in capsys.readouterr().out
+        assert status == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "prog.bp"
+        path.write_text(POSITIVE)
+        main([str(path), "--target", "main:target", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reachable"] is True
+        assert payload["algorithm"].startswith("getafix-")
+
+    def test_concurrent_run(self, tmp_path, capsys):
+        path = tmp_path / "conc.bp"
+        path.write_text(CONCURRENT)
+        status = main(
+            [
+                str(path),
+                "--concurrent",
+                "--target",
+                "one:main:hit",
+                "--context-switches",
+                "2",
+            ]
+        )
+        assert "YES" in capsys.readouterr().out
+        assert status == 1

@@ -1,0 +1,113 @@
+"""Tests for program transformations (renaming and thread merging)."""
+
+import pytest
+
+from repro.boolprog import (
+    Assign,
+    Call,
+    CallAssign,
+    VarRef,
+    parse_concurrent_program,
+    parse_expression,
+    parse_program,
+    check_program,
+)
+from repro.boolprog.transform import merge_threads, rename_in_expr, rename_in_stmt, rename_procedure
+
+CONCURRENT = """
+shared decl flag;
+
+thread left begin
+  decl mine;
+  main() begin
+    mine := T;
+    call push(mine);
+  end
+  push(v) begin
+    flag := v;
+  end
+end
+
+thread right begin
+  main() begin
+    decl seen;
+    seen := flag;
+  end
+end
+"""
+
+
+class TestRenaming:
+    def test_rename_in_expr(self):
+        expression = parse_expression("a & (b | !a)")
+        renamed = rename_in_expr(expression, {"a": "x"})
+        assert renamed.variables() == {"x", "b"}
+
+    def test_rename_preserves_structure(self):
+        expression = parse_expression("a ^ b")
+        renamed = rename_in_expr(expression, {})
+        assert renamed == expression
+
+    def test_rename_in_stmt_assign_and_calls(self):
+        program = parse_program(
+            """
+            decl g;
+            main() begin
+              decl x;
+              x := g;
+              call helper(x);
+              x := helper2(g);
+            end
+            helper(v) begin skip; end
+            helper2(v) begin return v; end
+            """
+        )
+        body = program.procedure("main").body
+        variables = {"g": "G", "x": "x"}
+        calls = {"helper": "left__helper", "helper2": "left__helper2"}
+        assign = rename_in_stmt(body[0], variables, calls)
+        assert isinstance(assign, Assign) and assign.values[0] == VarRef("G")
+        call = rename_in_stmt(body[1], variables, calls)
+        assert isinstance(call, Call) and call.callee == "left__helper"
+        call_assign = rename_in_stmt(body[2], variables, calls)
+        assert isinstance(call_assign, CallAssign) and call_assign.callee == "left__helper2"
+
+    def test_rename_procedure_keeps_labels(self):
+        program = parse_program(
+            """
+            main() begin
+              L: skip;
+              goto L;
+            end
+            """
+        )
+        renamed = rename_procedure(program.procedure("main"), "thread__main", {}, {})
+        assert renamed.name == "thread__main"
+        assert renamed.body[0].label == "L"
+
+
+class TestMergeThreads:
+    def test_merge_produces_valid_sequential_program(self):
+        program = parse_concurrent_program(CONCURRENT)
+        merged, mains = merge_threads(program)
+        check_program(merged)
+        assert mains == ["left__main", "right__main"]
+        assert set(merged.procedures) == {
+            "left__main",
+            "left__push",
+            "right__main",
+        }
+
+    def test_shared_globals_kept_private_globals_prefixed(self):
+        program = parse_concurrent_program(CONCURRENT)
+        merged, _ = merge_threads(program)
+        assert "flag" in merged.globals
+        assert "left__mine" in merged.globals
+        assert "mine" not in merged.globals
+
+    def test_calls_rewritten_within_thread(self):
+        program = parse_concurrent_program(CONCURRENT)
+        merged, _ = merge_threads(program)
+        main_body = merged.procedure("left__main").body
+        call = main_body[1]
+        assert isinstance(call, Call) and call.callee == "left__push"
