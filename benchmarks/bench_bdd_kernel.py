@@ -1,0 +1,183 @@
+"""Micro-benchmarks of the BDD kernel, independent of the end-to-end figures.
+
+The end-to-end tables (Figures 2/3) mix encoder, fixed-point and kernel time;
+this module tracks the kernel's trajectory in isolation so a regression in
+one apply recursion or quantifier path is visible without re-running whole
+benchmark sweeps.  The workload is a synthetic symbolic transition system —
+an ``n``-bit counter with nondeterministic stutter, encoded over interleaved
+current/next bit variables exactly like the template encoders lay out state
+copies — exercised through the four kernel pillars:
+
+* ``apply``     — building the transition relation (iff/and/or recursions),
+* ``quantify``  — existential/universal quantification over the next-state cube,
+* ``rename``    — the order-preserving prime/unprime shift (fast path) and a
+                  deliberately order-reversing mapping (ite fall-back),
+* ``relprod``   — reachability via ``and_exists`` image iteration.
+
+Each case is exposed twice: as a plain callable (used by
+``benchmarks/report.py kernel``) and as a pytest-benchmark test.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.bdd import BddManager
+
+try:  # The plain-text report harness must work without pytest installed.
+    import pytest
+    from conftest import measure
+except ImportError:  # pragma: no cover
+    pytest = None
+
+#: Default bit width of the synthetic counter for the report harness.
+DEFAULT_BITS = 14
+
+#: Increments of the multi-delta counter (``next = current + d`` for some d).
+DELTAS = (1, 2, 3, 5, 7, 11)
+
+
+def _make_manager(bits: int) -> BddManager:
+    """Interleaved current/next variables: c0, n0, c1, n1, ..."""
+    names: List[str] = []
+    for i in range(bits):
+        names.append(f"c{i}")
+        names.append(f"n{i}")
+    return BddManager(names)
+
+
+def _adder(mgr: BddManager, bits: int, delta: int) -> int:
+    """``next = current + delta (mod 2**bits)``, ripple-carry encoded.
+
+    A typical mix of xor/and/or/iff apply calls over interleaved variables —
+    the same shape the template encoders produce for assignments.
+    """
+    node = mgr.TRUE
+    carry = mgr.FALSE
+    for i in range(bits):
+        current = mgr.var(f"c{i}")
+        nxt = mgr.var(f"n{i}")
+        d = mgr.TRUE if (delta >> i) & 1 else mgr.FALSE
+        total = mgr.xor(mgr.xor(current, d), carry)
+        node = mgr.and_(node, mgr.iff(nxt, total))
+        carry = mgr.or_(mgr.and_(current, d), mgr.and_(carry, mgr.xor(current, d)))
+    return node
+
+
+def _transition(mgr: BddManager, bits: int) -> int:
+    """Disjunction of the adders for every delta in :data:`DELTAS`."""
+    return mgr.disjoin(_adder(mgr, bits, delta) for delta in DELTAS)
+
+
+def bench_apply(bits: int = DEFAULT_BITS) -> int:
+    """Build the multi-delta transition relation (pure apply recursions)."""
+    mgr = _make_manager(bits)
+    relation = _transition(mgr, bits)
+    # Extra apply pressure: constrain the relation by fixed low/high bits.
+    evens = mgr.conjoin(mgr.nvar(f"c{i}") for i in range(0, bits, 2))
+    odds = mgr.conjoin(mgr.var(f"c{i}") for i in range(1, bits, 2))
+    node = mgr.or_(mgr.and_(relation, evens), mgr.and_(relation, odds))
+    return mgr.node_count(relation) + mgr.node_count(node)
+
+
+def bench_quantify(bits: int = DEFAULT_BITS) -> int:
+    """Partial existential/universal quantification of the transition."""
+    mgr = _make_manager(bits)
+    relation = _transition(mgr, bits)
+    odd_next = [f"n{i}" for i in range(1, bits, 2)]
+    even_next = [f"n{i}" for i in range(0, bits, 2)]
+    exists_odd = mgr.exists(relation, odd_next)
+    forall_even = mgr.forall(relation, even_next)
+    exists_both = mgr.exists(exists_odd, even_next)
+    return (
+        mgr.node_count(exists_odd)
+        + mgr.node_count(forall_even)
+        + mgr.node_count(exists_both)
+    )
+
+
+def _image_set(mgr: BddManager, bits: int, relation: int, steps: int) -> int:
+    """The set of states reachable from 0 in at most ``steps`` images."""
+    current_bits = [f"c{i}" for i in range(bits)]
+    unprime = {f"n{i}": f"c{i}" for i in range(bits)}
+    reached = mgr.conjoin(mgr.nvar(bit) for bit in current_bits)
+    for _ in range(steps):
+        image = mgr.and_exists(reached, relation, current_bits)
+        reached = mgr.or_(reached, mgr.rename(image, unprime))
+    return reached
+
+
+def bench_rename(bits: int = DEFAULT_BITS) -> int:
+    """Prime/unprime shifts (fast path) and an order-reversing rename (fall-back)."""
+    mgr = _make_manager(bits)
+    # An extra block of variables for the order-reversing case.
+    for i in range(bits):
+        mgr.add_var(f"r{i}")
+    relation = _transition(mgr, bits)
+    state_set = _image_set(mgr, bits, relation, 6)
+    # The prime/unprime shifts are order-preserving on the support (c and n
+    # copies are interleaved), so these take the structural fast path.
+    prime = {f"c{i}": f"n{i}" for i in range(bits)}
+    unprime = {f"n{i}": f"c{i}" for i in range(bits)}
+    total = 0
+    for _ in range(5):
+        primed = mgr.rename(state_set, prime)
+        total += mgr.node_count(primed)
+        assert mgr.rename(primed, unprime) == state_set
+    # Order-reversing mapping: the c-bits land in the r-block in reverse,
+    # violating the support order, which forces the ite rebuild.
+    onto_reversed = {f"c{i}": f"r{bits - 1 - i}" for i in range(bits)}
+    reversed_node = mgr.rename(state_set, onto_reversed)
+    total += mgr.node_count(reversed_node)
+    return total
+
+
+def bench_relprod(bits: int = DEFAULT_BITS) -> int:
+    """Full reachability from state 0 by ``and_exists`` image iteration."""
+    mgr = _make_manager(bits)
+    relation = _transition(mgr, bits)
+    current_bits = [f"c{i}" for i in range(bits)]
+    unprime = {f"n{i}": f"c{i}" for i in range(bits)}
+    reached = mgr.conjoin(mgr.nvar(bit) for bit in current_bits)
+    frontier = reached
+    iterations = 0
+    while frontier != mgr.FALSE:
+        iterations += 1
+        image = mgr.and_exists(frontier, relation, current_bits)
+        image = mgr.rename(image, unprime)
+        frontier = mgr.and_(image, mgr.not_(reached))
+        reached = mgr.or_(reached, frontier)
+    assert mgr.count_sat(reached, current_bits) == 1 << bits
+    return iterations
+
+
+#: name -> (callable, kwargs) for the plain-text report harness.
+KERNEL_CASES: Dict[str, Callable[[], int]] = {
+    "apply": bench_apply,
+    "quantify": bench_quantify,
+    "rename": bench_rename,
+    "relprod": bench_relprod,
+}
+
+
+def kernel_report(bits: int = DEFAULT_BITS) -> List[Tuple[str, float, int]]:
+    """Run every kernel case once; return (name, seconds, checksum) rows."""
+    rows = []
+    for name, case in KERNEL_CASES.items():
+        started = time.perf_counter()
+        checksum = case(bits)
+        rows.append((name, time.perf_counter() - started, checksum))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark integration
+# ---------------------------------------------------------------------------
+if pytest is not None:
+
+    @pytest.mark.parametrize("case", sorted(KERNEL_CASES))
+    def test_kernel(benchmark, case):
+        checksum = measure(benchmark, KERNEL_CASES[case], DEFAULT_BITS)
+        benchmark.extra_info["bits"] = DEFAULT_BITS
+        benchmark.extra_info["checksum"] = checksum

@@ -11,6 +11,7 @@ Usage::
     python benchmarks/report.py figure2            # sequential suites
     python benchmarks/report.py figure3            # Bluetooth, explicit engine
     python benchmarks/report.py figure3-symbolic   # Bluetooth, fixed-point engine
+    python benchmarks/report.py kernel             # BDD kernel micro-benchmarks
     python benchmarks/report.py all
 """
 
@@ -45,6 +46,7 @@ SEQUENTIAL_ENGINES: Dict[str, Callable] = {
 def _sequential_row(name: str, program, locations, expected: bool) -> str:
     cells = [f"{name:28s}", "Yes" if expected else "No "]
     nodes = 0
+    stats_line = "  (no kernel statistics)"
     for engine_name, runner in SEQUENTIAL_ENGINES.items():
         started = time.perf_counter()
         result = runner(program, locations)
@@ -52,9 +54,25 @@ def _sequential_row(name: str, program, locations, expected: bool) -> str:
         assert result.reachable == expected, f"{name}: {engine_name} disagrees"
         if engine_name == "EFopt":
             nodes = result.summary_nodes
+            stats_line = _kernel_stats_line(result)
         cells.append(f"{elapsed:7.2f}")
     cells.insert(2, f"{nodes:8d}")
-    return "  ".join(cells)
+    return "  ".join(cells) + "\n" + stats_line
+
+
+def _kernel_stats_line(result) -> str:
+    """One-line kernel summary (hoists, memo/apply hit rates, peak nodes)."""
+    stats = result.stats
+    if not stats:
+        return "  (no kernel statistics)"
+    manager = stats.get("manager", {})
+    and_rate = manager.get("ops", {}).get("and", {}).get("hit_rate", 0.0)
+    return (
+        f"  kernel: static_hoists={stats.get('static_hoists', 0)} "
+        f"plan_memo_hit_rate={stats.get('plan_memo_hit_rate', 0.0):.2f} "
+        f"and_hit_rate={and_rate:.2f} "
+        f"peak_nodes={manager.get('peak_nodes', 0)}"
+    )
 
 
 def figure2(sizes: Sequence[int] = (2, 3), counter_bits: Sequence[int] = (2, 3)) -> None:
@@ -152,14 +170,27 @@ def figure3_symbolic(max_switches: int = 3) -> None:
             )
 
 
+def kernel(bits: int = 14) -> None:
+    """The BDD kernel micro-benchmark table (see bench_bdd_kernel.py)."""
+    from bench_bdd_kernel import kernel_report
+
+    print(f"== BDD kernel micro-benchmarks ({bits}-bit synthetic counter) ==")
+    print(f"{'case':10s}  {'time (s)':>9s}  {'checksum':>10s}")
+    for name, seconds, checksum in kernel_report(bits):
+        print(f"{name:10s}  {seconds:9.3f}  {checksum:10d}")
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "what",
-        choices=["figure2", "figure3", "figure3-symbolic", "all"],
+        choices=["figure2", "figure3", "figure3-symbolic", "kernel", "all"],
         help="which table to regenerate",
     )
     parser.add_argument("--max-switches", type=int, default=6)
+    parser.add_argument(
+        "--kernel-bits", type=int, default=14, help="counter width for the kernel table"
+    )
     args = parser.parse_args(argv)
     if args.what in ("figure2", "all"):
         figure2()
@@ -169,6 +200,9 @@ def main(argv: List[str] | None = None) -> int:
         print()
     if args.what in ("figure3-symbolic", "all"):
         figure3_symbolic(max_switches=min(args.max_switches, 3))
+        print()
+    if args.what in ("kernel", "all"):
+        kernel(bits=args.kernel_bits)
     return 0
 
 

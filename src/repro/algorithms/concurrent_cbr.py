@@ -333,11 +333,12 @@ def run_concurrent(
     encode_seconds = time.perf_counter() - encode_start
     inputs = templates.interps()
     manager = backend.manager
+    query_plan = backend.compile_formula(spec.query)
 
     def query_holds(interps: Dict[str, int]) -> bool:
         merged = dict(inputs)
         merged.update(interps)
-        return backend.eval_formula(spec.query, merged) == manager.TRUE
+        return query_plan.eval(backend, merged) == manager.TRUE
 
     stop = query_holds if early_stop else None
     evaluation = evaluate_nested(
@@ -364,6 +365,8 @@ def run_concurrent(
         summary_states = manager.count_sat(projected, sorted(keep))
 
     total_seconds = time.perf_counter() - started
+    stats = backend.stats_snapshot()
+    backend.context.clear_caches()
     return ReachabilityResult(
         reachable=reachable,
         algorithm=f"getafix-cbr(k={context_switches})",
@@ -381,4 +384,5 @@ def run_concurrent(
             "context_switches": context_switches,
             "threads": program.num_threads,
         },
+        stats=stats,
     )

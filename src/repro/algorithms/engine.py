@@ -74,11 +74,15 @@ def run_sequential(
 
     inputs = templates.interps()
     manager = backend.manager
+    # The query formula is fixed for the whole run: compile it once so the
+    # early-stop predicate (called after every outer iteration) reuses the
+    # hoisted skeleton and the interpretation-keyed memo.
+    query_plan = backend.compile_formula(spec.query)
 
     def query_holds(interps: Dict[str, int]) -> bool:
         merged = dict(inputs)
         merged.update(interps)
-        return backend.eval_formula(spec.query, merged) == manager.TRUE
+        return query_plan.eval(backend, merged) == manager.TRUE
 
     stop = query_holds if early_stop else None
     evaluate = evaluate_nested if spec.evaluation == "nested" else evaluate_simultaneous
@@ -93,6 +97,10 @@ def run_sequential(
     reachable = query_holds(evaluation.interpretations)
     summary_node = evaluation.interpretations[spec.target_relation]
     total_seconds = time.perf_counter() - started
+    stats = backend.stats_snapshot()
+    # Release the run's operation caches (node table stays valid); composes
+    # the manager's cache clearing with the context's own domain cache.
+    backend.context.clear_caches()
     return ReachabilityResult(
         reachable=reachable,
         algorithm=f"getafix-{spec.name}",
@@ -109,4 +117,5 @@ def run_sequential(
             "target_locations": list(target_locations),
             "evaluation_mode": spec.evaluation,
         },
+        stats=stats,
     )

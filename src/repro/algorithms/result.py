@@ -38,6 +38,10 @@ class ReachabilityResult:
         Whether early termination fired before the full fixed point.
     details:
         Engine-specific extras (number of BDD variables, context bound, ...).
+    stats:
+        Evaluation statistics from the symbolic kernel: per-operation cache
+        hit rates, static-hoist counts, plan-memo hit rates and the peak BDD
+        node-table size.  Empty for the explicit baselines.
     """
 
     reachable: bool
@@ -51,6 +55,17 @@ class ReachabilityResult:
     total_seconds: float = 0.0
     stopped_early: bool = False
     details: Dict[str, object] = field(default_factory=dict)
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def cache_hit_rate(self, op: str) -> Optional[float]:
+        """Convenience accessor for a kernel operation's cache hit rate."""
+        manager = self.stats.get("manager")
+        if not isinstance(manager, dict):
+            return None
+        ops = manager.get("ops")
+        if not isinstance(ops, dict) or op not in ops:
+            return None
+        return ops[op]["hit_rate"]
 
     def verdict(self) -> str:
         """The YES/NO string used in the paper's tables."""

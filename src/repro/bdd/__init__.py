@@ -10,13 +10,14 @@ Public API
     Static variable-ordering heuristics ("allocation constraints").
 """
 
-from .manager import BddError, BddManager
+from .manager import BddError, BddManager, QuantCube
 from .function import Function
 from .ordering import interleave, order_from_affinity, validate_order
 
 __all__ = [
     "BddError",
     "BddManager",
+    "QuantCube",
     "Function",
     "interleave",
     "order_from_affinity",

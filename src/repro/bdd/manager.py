@@ -5,11 +5,16 @@ plays the role that CUDD plays inside MUCKE in the original Getafix tool.  It
 is a from-scratch, pure-Python ROBDD implementation with the operations the
 fixed-point evaluator needs:
 
-* ``ite`` / ``apply`` style Boolean connectives,
-* existential and universal quantification over variable sets,
+* dedicated binary ``and_`` / ``or_`` / ``xor`` apply recursions (each with
+  its own memo cache and canonicalised operand order) plus a general
+  ``ite``,
+* existential and universal quantification over *quantifier cubes* —
+  interned, pre-sorted variable sets with a precomputed deepest level,
 * the relational product ``and_exists`` (conjunction + quantification in one
   recursive pass, the workhorse of symbolic image computation),
-* variable renaming (substitution of variables by variables),
+* variable renaming with a structural fast path for order-preserving
+  mappings (the common prime/unprime shift) and an ``ite``-based rebuild for
+  order-violating mappings,
 * restriction (cofactoring), support computation, satisfying-assignment
   counting and enumeration.
 
@@ -19,17 +24,56 @@ The manager does not garbage-collect nodes: for the workloads in this
 repository (model checking scaled-down Boolean programs) the node table stays
 small, and keeping all nodes alive lets every memoisation cache remain valid
 for the lifetime of the manager.
+
+Programs whose encodings have very many bit levels can exceed Python's
+recursion limit in the recursive apply routines; constructing the manager
+with ``explicit_stack=True`` switches the binary connectives to an
+iterative, explicit-stack evaluation that is depth-independent.
+
+Every operation family maintains hit/miss counters; :meth:`BddManager.stats`
+exposes them (together with cache and node-table sizes) so callers can report
+cache hit rates and peak table growth per run.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["BddManager", "BddError"]
+__all__ = ["BddManager", "BddError", "QuantCube"]
 
 
 class BddError(Exception):
     """Raised for invalid uses of the BDD manager (unknown variables, ...)."""
+
+
+class QuantCube:
+    """An interned quantification variable set.
+
+    ``levels`` is the sorted tuple of variable indices, ``members`` a set for
+    O(1) membership tests, and ``last`` the deepest (largest) quantified
+    level — the point below which quantification is the identity.  Cubes are
+    interned per manager (see :meth:`BddManager.quant_cube`), so identity
+    comparison and the default object hash make them cheap cache-key
+    components.  The constructor normalises (sorts, dedups) its input and
+    rejects empty sets, so a hand-built cube behaves like an interned one.
+    """
+
+    __slots__ = ("levels", "members", "last")
+
+    def __init__(self, levels: Iterable[int]) -> None:
+        ordered = tuple(sorted(set(levels)))
+        if not ordered:
+            raise BddError("a quantifier cube needs at least one variable")
+        self.levels = ordered
+        self.members = set(ordered)
+        self.last = ordered[-1]
+
+    def __repr__(self) -> str:
+        return f"QuantCube{self.levels}"
+
+
+#: Things accepted wherever a set of quantification variables is expected.
+QuantVars = Union[QuantCube, Iterable[Union[int, str]]]
 
 
 class BddManager:
@@ -42,6 +86,10 @@ class BddManager:
         this sequence is its *level*: variables earlier in the sequence are
         tested closer to the root.  More variables can be added later with
         :meth:`add_var`, which appends them below all existing levels.
+    explicit_stack:
+        When True, the binary connectives (``and_``, ``or_``, ``xor``) run on
+        an explicit work stack instead of Python recursion, so arbitrarily
+        deep BDDs cannot trip the interpreter's recursion limit.
     """
 
     FALSE = 0
@@ -51,22 +99,40 @@ class BddManager:
     #: level of any variable node.
     _TERMINAL_LEVEL = 1 << 60
 
-    def __init__(self, var_names: Optional[Sequence[str]] = None) -> None:
+    def __init__(
+        self,
+        var_names: Optional[Sequence[str]] = None,
+        explicit_stack: bool = False,
+    ) -> None:
         # Parallel node arrays.  Index 0 is FALSE, index 1 is TRUE.
         self._level: List[int] = [self._TERMINAL_LEVEL, self._TERMINAL_LEVEL]
         self._lo: List[int] = [0, 1]
         self._hi: List[int] = [0, 1]
         # Unique table: (level, lo, hi) -> node index.
         self._unique: Dict[Tuple[int, int, int], int] = {}
-        # Operation caches.
+        # Operation caches, one per operation family so one workload cannot
+        # evict another's entries and keys stay small.
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._or_cache: Dict[Tuple[int, int], int] = {}
+        self._xor_cache: Dict[Tuple[int, int], int] = {}
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._not_cache: Dict[int, int] = {}
-        self._exists_cache: Dict[Tuple[int, frozenset], int] = {}
-        self._forall_cache: Dict[Tuple[int, frozenset], int] = {}
-        self._and_exists_cache: Dict[Tuple[int, int, frozenset], int] = {}
-        self._rename_cache: Dict[Tuple[int, int], int] = {}
-        self._rename_token = 0
-        self._count_cache: Dict[int, int] = {}
+        self._exists_cache: Dict[Tuple[int, QuantCube], int] = {}
+        self._forall_cache: Dict[Tuple[int, QuantCube], int] = {}
+        self._and_exists_cache: Dict[Tuple[int, int, QuantCube], int] = {}
+        self._rename_cache: Dict[Tuple[int, "_RenameMap"], int] = {}
+        # Interning tables for quantifier cubes and rename maps.
+        self._cube_table: Dict[Tuple[int, ...], QuantCube] = {}
+        self._rename_table: Dict[Tuple[Tuple[int, int], ...], "_RenameMap"] = {}
+        self._explicit_stack = bool(explicit_stack)
+        # Hit/miss counters, keyed like the caches.
+        self._hits: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+        for op in ("and", "or", "xor", "ite", "exists", "forall", "and_exists", "rename"):
+            self._hits[op] = 0
+            self._misses[op] = 0
+        self._rename_fast = 0
+        self._rename_slow = 0
         # Variable bookkeeping.
         self._var_names: List[str] = []
         self._name_to_var: Dict[str, int] = {}
@@ -176,7 +242,9 @@ class BddManager:
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self._hits["ite"] += 1
             return cached
+        self._misses["ite"] += 1
         level = min(self._level[f], self._level[g], self._level[h])
         f_lo, f_hi = self._cofactors(f, level)
         g_lo, g_hi = self._cofactors(g, level)
@@ -198,33 +266,255 @@ class BddManager:
             return self.FALSE
         if f == self.FALSE:
             return self.TRUE
+        if self._explicit_stack:
+            return self._not_iter(f)
+        return self._not(f)
+
+    def _not(self, f: int) -> int:
+        if f <= 1:
+            return 1 - f
         cached = self._not_cache.get(f)
         if cached is not None:
             return cached
-        result = self._mk(self._level[f], self.not_(self._lo[f]), self.not_(self._hi[f]))
+        result = self._mk(self._level[f], self._not(self._lo[f]), self._not(self._hi[f]))
         self._not_cache[f] = result
         self._not_cache[result] = f
         return result
 
+    def _not_iter(self, root: int) -> int:
+        """Explicit-stack negation (same frame scheme as :meth:`_binary_iter`)."""
+        cache = self._not_cache
+        results: List[int] = []
+        work: List[Tuple[int, int]] = [(0, root)]
+        while work:
+            tag, f = work.pop()
+            if tag == 0:
+                if f <= 1:
+                    results.append(1 - f)
+                    continue
+                cached = cache.get(f)
+                if cached is not None:
+                    results.append(cached)
+                    continue
+                work.append((1, f))
+                work.append((0, self._hi[f]))
+                work.append((0, self._lo[f]))
+            else:
+                hi = results.pop()
+                lo = results.pop()
+                result = self._mk(self._level[f], lo, hi)
+                cache[f] = result
+                cache[result] = f
+                results.append(result)
+        return results[0]
+
     def and_(self, f: int, g: int) -> int:
-        """Boolean conjunction."""
-        return self.ite(f, g, self.FALSE)
+        """Boolean conjunction (dedicated apply recursion, own cache)."""
+        if self._explicit_stack:
+            return self._binary_iter(f, g, "and")
+        return self._and(f, g)
+
+    def _and(self, f: int, g: int) -> int:
+        if f == g or g == 1:
+            return f
+        if f == 1:
+            return g
+        if f == 0 or g == 0:
+            return 0
+        # Canonicalise the operand order: conjunction is commutative.
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._and_cache.get(key)
+        if cached is not None:
+            self._hits["and"] += 1
+            return cached
+        self._misses["and"] += 1
+        level_f = self._level[f]
+        level_g = self._level[g]
+        if level_f == level_g:
+            level = level_f
+            lo = self._and(self._lo[f], self._lo[g])
+            hi = self._and(self._hi[f], self._hi[g])
+        elif level_f < level_g:
+            level = level_f
+            lo = self._and(self._lo[f], g)
+            hi = self._and(self._hi[f], g)
+        else:
+            level = level_g
+            lo = self._and(f, self._lo[g])
+            hi = self._and(f, self._hi[g])
+        result = lo if lo == hi else self._mk(level, lo, hi)
+        self._and_cache[key] = result
+        return result
 
     def or_(self, f: int, g: int) -> int:
-        """Boolean disjunction."""
-        return self.ite(f, self.TRUE, g)
+        """Boolean disjunction (dedicated apply recursion, own cache)."""
+        if self._explicit_stack:
+            return self._binary_iter(f, g, "or")
+        return self._or(f, g)
+
+    def _or(self, f: int, g: int) -> int:
+        if f == g or g == 0:
+            return f
+        if f == 0:
+            return g
+        if f == 1 or g == 1:
+            return 1
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._or_cache.get(key)
+        if cached is not None:
+            self._hits["or"] += 1
+            return cached
+        self._misses["or"] += 1
+        level_f = self._level[f]
+        level_g = self._level[g]
+        if level_f == level_g:
+            level = level_f
+            lo = self._or(self._lo[f], self._lo[g])
+            hi = self._or(self._hi[f], self._hi[g])
+        elif level_f < level_g:
+            level = level_f
+            lo = self._or(self._lo[f], g)
+            hi = self._or(self._hi[f], g)
+        else:
+            level = level_g
+            lo = self._or(f, self._lo[g])
+            hi = self._or(f, self._hi[g])
+        result = lo if lo == hi else self._mk(level, lo, hi)
+        self._or_cache[key] = result
+        return result
 
     def xor(self, f: int, g: int) -> int:
-        """Boolean exclusive or."""
-        return self.ite(f, self.not_(g), g)
+        """Boolean exclusive or (dedicated apply recursion, own cache)."""
+        if self._explicit_stack:
+            return self._binary_iter(f, g, "xor")
+        return self._xor(f, g)
 
+    def _xor(self, f: int, g: int) -> int:
+        if f == g:
+            return 0
+        if g == 0:
+            return f
+        if f == 0:
+            return g
+        if f == 1:
+            return self.not_(g)
+        if g == 1:
+            return self.not_(f)
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._xor_cache.get(key)
+        if cached is not None:
+            self._hits["xor"] += 1
+            return cached
+        self._misses["xor"] += 1
+        level_f = self._level[f]
+        level_g = self._level[g]
+        if level_f == level_g:
+            level = level_f
+            lo = self._xor(self._lo[f], self._lo[g])
+            hi = self._xor(self._hi[f], self._hi[g])
+        elif level_f < level_g:
+            level = level_f
+            lo = self._xor(self._lo[f], g)
+            hi = self._xor(self._hi[f], g)
+        else:
+            level = level_g
+            lo = self._xor(f, self._lo[g])
+            hi = self._xor(f, self._hi[g])
+        result = lo if lo == hi else self._mk(level, lo, hi)
+        self._xor_cache[key] = result
+        return result
+
+    def _binary_terminal(self, f: int, g: int, op: str) -> Optional[int]:
+        """Terminal-case rules of the binary connectives (None if not terminal)."""
+        if op == "and":
+            if f == g or g == 1:
+                return f
+            if f == 1:
+                return g
+            if f == 0 or g == 0:
+                return 0
+        elif op == "or":
+            if f == g or g == 0:
+                return f
+            if f == 0:
+                return g
+            if f == 1 or g == 1:
+                return 1
+        else:  # xor
+            if f == g:
+                return 0
+            if g == 0:
+                return f
+            if f == 0:
+                return g
+            if f == 1:
+                return self.not_(g)
+            if g == 1:
+                return self.not_(f)
+        return None
+
+    def _binary_iter(self, root_f: int, root_g: int, op: str) -> int:
+        """Explicit-stack evaluation of a binary connective.
+
+        Frames are ``(0, f, g)`` for "evaluate this pair" and ``(1, key,
+        level)`` for "combine the two results on top of the result stack"
+        (``key`` being the cache key of the pair).  The lo sub-problem is
+        pushed last so it is evaluated first; a combine frame therefore pops
+        the hi result first.
+        """
+        cache = {"and": self._and_cache, "or": self._or_cache, "xor": self._xor_cache}[op]
+        results: List[int] = []
+        work: List[Tuple] = [(0, root_f, root_g)]
+        while work:
+            frame = work.pop()
+            if frame[0] == 0:
+                f, g = frame[1], frame[2]
+                terminal = self._binary_terminal(f, g, op)
+                if terminal is not None:
+                    results.append(terminal)
+                    continue
+                if f > g:
+                    f, g = g, f
+                key = (f, g)
+                cached = cache.get(key)
+                if cached is not None:
+                    self._hits[op] += 1
+                    results.append(cached)
+                    continue
+                self._misses[op] += 1
+                level_f = self._level[f]
+                level_g = self._level[g]
+                level = level_f if level_f < level_g else level_g
+                f_lo, f_hi = self._cofactors(f, level)
+                g_lo, g_hi = self._cofactors(g, level)
+                work.append((1, key, level))
+                work.append((0, f_hi, g_hi))
+                work.append((0, f_lo, g_lo))
+            else:
+                key, level = frame[1], frame[2]
+                hi = results.pop()
+                lo = results.pop()
+                result = lo if lo == hi else self._mk(level, lo, hi)
+                cache[key] = result
+                results.append(result)
+        return results[0]
+
+    # ------------------------------------------------------------------
+    # Derived connectives
+    # ------------------------------------------------------------------
     def iff(self, f: int, g: int) -> int:
         """Boolean biconditional."""
-        return self.ite(f, g, self.not_(g))
+        return self.not_(self.xor(f, g))
 
     def implies(self, f: int, g: int) -> int:
         """Boolean implication ``f -> g``."""
-        return self.ite(f, g, self.TRUE)
+        return self.or_(self.not_(f), g)
 
     def conjoin(self, nodes: Iterable[int]) -> int:
         """Conjunction of an iterable of nodes (TRUE for the empty iterable)."""
@@ -247,96 +537,132 @@ class BddManager:
     # ------------------------------------------------------------------
     # Quantification
     # ------------------------------------------------------------------
-    def exists(self, f: int, variables: Iterable[int | str]) -> int:
-        """Existentially quantify ``variables`` out of ``f``."""
-        qvars = self._var_set(variables)
-        if not qvars:
-            return f
-        return self._exists(f, qvars)
+    def quant_cube(self, variables: QuantVars) -> Optional[QuantCube]:
+        """Intern a set of quantification variables as a :class:`QuantCube`.
 
-    def _exists(self, f: int, qvars: frozenset) -> int:
+        Returns None for the empty set.  Callers that quantify over the same
+        variable set repeatedly (the symbolic backend's compiled plans, for
+        example) can intern the cube once and pass it to :meth:`exists` /
+        :meth:`forall` / :meth:`and_exists` directly.
+        """
+        if isinstance(variables, QuantCube):
+            return variables
+        levels = tuple(sorted(self._var_set(variables)))
+        if not levels:
+            return None
+        cube = self._cube_table.get(levels)
+        if cube is None:
+            cube = QuantCube(levels)
+            self._cube_table[levels] = cube
+        return cube
+
+    def exists(self, f: int, variables: QuantVars) -> int:
+        """Existentially quantify ``variables`` out of ``f``."""
+        cube = self.quant_cube(variables)
+        if cube is None:
+            return f
+        return self._exists(f, cube)
+
+    def _exists(self, f: int, cube: QuantCube) -> int:
         if f <= 1:
             return f
         level = self._level[f]
-        if level > max(qvars):
+        if level > cube.last:
             return f
-        key = (f, qvars)
+        key = (f, cube)
         cached = self._exists_cache.get(key)
         if cached is not None:
+            self._hits["exists"] += 1
             return cached
-        lo = self._exists(self._lo[f], qvars)
-        hi = self._exists(self._hi[f], qvars)
-        if level in qvars:
-            result = self.or_(lo, hi)
+        self._misses["exists"] += 1
+        if level in cube.members:
+            lo = self._exists(self._lo[f], cube)
+            if lo == self.TRUE:
+                result = self.TRUE
+            else:
+                result = self.or_(lo, self._exists(self._hi[f], cube))
         else:
+            lo = self._exists(self._lo[f], cube)
+            hi = self._exists(self._hi[f], cube)
             result = self._mk(level, lo, hi)
         self._exists_cache[key] = result
         return result
 
-    def forall(self, f: int, variables: Iterable[int | str]) -> int:
+    def forall(self, f: int, variables: QuantVars) -> int:
         """Universally quantify ``variables`` out of ``f``."""
-        qvars = self._var_set(variables)
-        if not qvars:
+        cube = self.quant_cube(variables)
+        if cube is None:
             return f
-        return self._forall(f, qvars)
+        return self._forall(f, cube)
 
-    def _forall(self, f: int, qvars: frozenset) -> int:
+    def _forall(self, f: int, cube: QuantCube) -> int:
         if f <= 1:
             return f
         level = self._level[f]
-        if level > max(qvars):
+        if level > cube.last:
             return f
-        key = (f, qvars)
+        key = (f, cube)
         cached = self._forall_cache.get(key)
         if cached is not None:
+            self._hits["forall"] += 1
             return cached
-        lo = self._forall(self._lo[f], qvars)
-        hi = self._forall(self._hi[f], qvars)
-        if level in qvars:
-            result = self.and_(lo, hi)
+        self._misses["forall"] += 1
+        if level in cube.members:
+            lo = self._forall(self._lo[f], cube)
+            if lo == self.FALSE:
+                result = self.FALSE
+            else:
+                result = self.and_(lo, self._forall(self._hi[f], cube))
         else:
+            lo = self._forall(self._lo[f], cube)
+            hi = self._forall(self._hi[f], cube)
             result = self._mk(level, lo, hi)
         self._forall_cache[key] = result
         return result
 
-    def and_exists(self, f: int, g: int, variables: Iterable[int | str]) -> int:
+    def and_exists(self, f: int, g: int, variables: QuantVars) -> int:
         """Relational product: ``exists variables. (f and g)`` in one pass."""
-        qvars = self._var_set(variables)
-        if not qvars:
+        cube = self.quant_cube(variables)
+        if cube is None:
             return self.and_(f, g)
-        return self._and_exists(f, g, qvars)
+        return self._and_exists(f, g, cube)
 
-    def _and_exists(self, f: int, g: int, qvars: frozenset) -> int:
-        if f == self.FALSE or g == self.FALSE:
-            return self.FALSE
-        if f == self.TRUE and g == self.TRUE:
-            return self.TRUE
-        if f == self.TRUE:
-            return self._exists(g, qvars)
-        if g == self.TRUE:
-            return self._exists(f, qvars)
+    def _and_exists(self, f: int, g: int, cube: QuantCube) -> int:
+        if f == 0 or g == 0:
+            return 0
+        if f == 1 and g == 1:
+            return 1
+        if f == 1:
+            return self._exists(g, cube)
+        if g == 1:
+            return self._exists(f, cube)
         if f == g:
-            return self._exists(f, qvars)
+            return self._exists(f, cube)
         # Canonicalise the argument order for better cache hit rates.
         if f > g:
             f, g = g, f
-        key = (f, g, qvars)
+        level = min(self._level[f], self._level[g])
+        if level > cube.last:
+            # No quantified variable can appear below this point.
+            return self.and_(f, g)
+        key = (f, g, cube)
         cached = self._and_exists_cache.get(key)
         if cached is not None:
+            self._hits["and_exists"] += 1
             return cached
-        level = min(self._level[f], self._level[g])
+        self._misses["and_exists"] += 1
         f_lo, f_hi = self._cofactors(f, level)
         g_lo, g_hi = self._cofactors(g, level)
-        if level in qvars:
-            lo = self._and_exists(f_lo, g_lo, qvars)
+        if level in cube.members:
+            lo = self._and_exists(f_lo, g_lo, cube)
             if lo == self.TRUE:
                 result = self.TRUE
             else:
-                hi = self._and_exists(f_hi, g_hi, qvars)
+                hi = self._and_exists(f_hi, g_hi, cube)
                 result = self.or_(lo, hi)
         else:
-            lo = self._and_exists(f_lo, g_lo, qvars)
-            hi = self._and_exists(f_hi, g_hi, qvars)
+            lo = self._and_exists(f_lo, g_lo, cube)
+            hi = self._and_exists(f_hi, g_hi, cube)
             result = self._mk(level, lo, hi)
         self._and_exists_cache[key] = result
         return result
@@ -356,12 +682,18 @@ class BddManager:
     def rename(self, f: int, mapping: Dict[int | str, int | str]) -> int:
         """Rename variables of ``f`` according to ``mapping`` (var -> var).
 
-        The substitution is simultaneous and is implemented with an
-        order-insensitive recursive rebuild (each renamed node is re-inserted
-        with ``ite`` on the target variable), so the mapping does not have to
-        respect the variable order.  The mapping must be injective on the
-        variables it moves and no target variable may also appear in the
-        support of ``f`` unless it is itself renamed away.
+        The substitution is simultaneous and order-insensitive: when the
+        mapping preserves the relative level order of the function's support
+        (the common prime/unprime shift produced by the template encoders),
+        the BDD is rebuilt structurally node-by-node; otherwise each renamed
+        node is re-inserted with ``ite`` on the target variable.  The mapping
+        must be injective on the variables it moves and no target variable
+        may also appear in the support of ``f`` unless it is itself renamed
+        away.
+
+        Results are cached per (node, interned mapping), so repeated renames
+        of the same function — every fixed-point iteration applies the same
+        relation arguments — are constant-time after the first.
         """
         normalised: Dict[int, int] = {}
         for src, dst in mapping.items():
@@ -379,19 +711,56 @@ class BddManager:
         if clashes:
             names = sorted(self._var_names[i] for i in clashes)
             raise BddError(f"rename targets already in support: {names}")
-        self._rename_token += 1
-        return self._rename(f, normalised, self._rename_token)
+        rmap = self._intern_rename(normalised)
+        ordered = sorted(support)
+        mapped = [normalised.get(levels, levels) for levels in ordered]
+        if all(mapped[i] < mapped[i + 1] for i in range(len(mapped) - 1)):
+            # Order-preserving on the support: every rebuilt child keeps its
+            # mapped levels strictly below its parent's mapped level, so the
+            # ROBDD invariants survive a direct structural rebuild.
+            self._rename_fast += 1
+            return self._rename_shift(f, rmap)
+        self._rename_slow += 1
+        return self._rename_ite(f, rmap)
 
-    def _rename(self, f: int, mapping: Dict[int, int], token: int) -> int:
+    def _intern_rename(self, normalised: Dict[int, int]) -> "_RenameMap":
+        key = tuple(sorted(normalised.items()))
+        rmap = self._rename_table.get(key)
+        if rmap is None:
+            rmap = _RenameMap(dict(normalised))
+            self._rename_table[key] = rmap
+        return rmap
+
+    def _rename_shift(self, f: int, rmap: "_RenameMap") -> int:
         if f <= 1:
             return f
-        key = (f, token)
+        key = (f, rmap)
         cached = self._rename_cache.get(key)
         if cached is not None:
+            self._hits["rename"] += 1
             return cached
+        self._misses["rename"] += 1
+        mapping = rmap.mapping
+        lo = self._rename_shift(self._lo[f], rmap)
+        hi = self._rename_shift(self._hi[f], rmap)
         level = self._level[f]
-        lo = self._rename(self._lo[f], mapping, token)
-        hi = self._rename(self._hi[f], mapping, token)
+        result = self._mk(mapping.get(level, level), lo, hi)
+        self._rename_cache[key] = result
+        return result
+
+    def _rename_ite(self, f: int, rmap: "_RenameMap") -> int:
+        if f <= 1:
+            return f
+        key = (f, rmap)
+        cached = self._rename_cache.get(key)
+        if cached is not None:
+            self._hits["rename"] += 1
+            return cached
+        self._misses["rename"] += 1
+        mapping = rmap.mapping
+        level = self._level[f]
+        lo = self._rename_ite(self._lo[f], rmap)
+        hi = self._rename_ite(self._hi[f], rmap)
         target = mapping.get(level, level)
         result = self.ite(self.var(target), hi, lo)
         self._rename_cache[key] = result
@@ -594,17 +963,66 @@ class BddManager:
         return node == self.TRUE
 
     # ------------------------------------------------------------------
-    # Maintenance
+    # Maintenance / statistics
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
         """Drop all operation caches (node table is kept)."""
+        self._and_cache.clear()
+        self._or_cache.clear()
+        self._xor_cache.clear()
         self._ite_cache.clear()
         self._not_cache.clear()
         self._exists_cache.clear()
         self._forall_cache.clear()
         self._and_exists_cache.clear()
         self._rename_cache.clear()
-        self._count_cache.clear()
+
+    def reset_stats(self) -> None:
+        """Zero every hit/miss counter (cache contents are untouched)."""
+        for op in self._hits:
+            self._hits[op] = 0
+            self._misses[op] = 0
+        self._rename_fast = 0
+        self._rename_slow = 0
+
+    def stats(self) -> Dict[str, object]:
+        """Operation counters, cache hit rates and table sizes for this manager.
+
+        The node table never shrinks, so ``nodes`` is also the peak table
+        size of the run.
+        """
+        ops: Dict[str, Dict[str, float]] = {}
+        for op in self._hits:
+            hits = self._hits[op]
+            misses = self._misses[op]
+            total = hits + misses
+            ops[op] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / total) if total else 0.0,
+            }
+        cache_sizes = {
+            "and": len(self._and_cache),
+            "or": len(self._or_cache),
+            "xor": len(self._xor_cache),
+            "ite": len(self._ite_cache),
+            "not": len(self._not_cache),
+            "exists": len(self._exists_cache),
+            "forall": len(self._forall_cache),
+            "and_exists": len(self._and_exists_cache),
+            "rename": len(self._rename_cache),
+        }
+        return {
+            "nodes": len(self._level),
+            "peak_nodes": len(self._level),
+            "vars": len(self._var_names),
+            "quant_cubes": len(self._cube_table),
+            "rename_maps": len(self._rename_table),
+            "rename_fast_path": self._rename_fast,
+            "rename_fallback": self._rename_slow,
+            "ops": ops,
+            "cache_sizes": cache_sizes,
+        }
 
     def to_expr(self, f: int) -> str:
         """A (dense) textual if-then-else rendering, for debugging small BDDs."""
@@ -614,3 +1032,15 @@ class BddManager:
             return "TRUE"
         name = self._var_names[self._level[f]]
         return f"ite({name}, {self.to_expr(self._hi[f])}, {self.to_expr(self._lo[f])})"
+
+
+class _RenameMap:
+    """An interned variable-renaming mapping (identity-hashed cache key)."""
+
+    __slots__ = ("mapping",)
+
+    def __init__(self, mapping: Dict[int, int]) -> None:
+        self.mapping = mapping
+
+    def __repr__(self) -> str:
+        return f"_RenameMap({self.mapping})"

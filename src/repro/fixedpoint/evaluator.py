@@ -53,6 +53,10 @@ class EvaluationResult:
     stopped_early:
         True when a ``stop`` predicate ended the iteration before a fixed
         point was reached.
+    backend_stats:
+        Snapshot of the backend's evaluation statistics (cache hit rates,
+        static-hoist counts, node-table size) taken when evaluation finished;
+        empty for backends that do not expose ``stats_snapshot``.
     """
 
     target: str
@@ -61,11 +65,17 @@ class EvaluationResult:
     equation_evaluations: int
     elapsed_seconds: float
     stopped_early: bool = False
+    backend_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def value(self) -> Any:
         """The interpretation computed for the target relation."""
         return self.interpretations[self.target]
+
+
+def _stats_snapshot(backend: Any) -> Dict[str, Any]:
+    snapshot = getattr(backend, "stats_snapshot", None)
+    return snapshot() if callable(snapshot) else {}
 
 
 def evaluate_nested(
@@ -105,6 +115,12 @@ def evaluate_nested(
     stats = {"evaluations": 0}
     interpretations: Dict[str, Any] = {}
     stopped = {"early": False}
+    # The dependency sets are derived from the (immutable) equation bodies;
+    # hoist them out of the iteration loops instead of re-walking every
+    # formula on every round.
+    dependency_order = {
+        name: sorted(system.dependencies(name)) for name in system.equations
+    }
 
     def evaluate(name: str, fixed: Dict[str, Any], depth: int) -> Any:
         equation = system.equation(name)
@@ -118,7 +134,7 @@ def evaluate_nested(
                 )
             env = dict(fixed)
             env[name] = current
-            for other in sorted(system.dependencies(name)):
+            for other in dependency_order[name]:
                 if other == name or other in fixed:
                     continue
                 env[other] = evaluate(other, env, depth + 1)
@@ -151,6 +167,7 @@ def evaluate_nested(
         equation_evaluations=stats["evaluations"],
         elapsed_seconds=time.perf_counter() - start,
         stopped_early=stopped["early"],
+        backend_stats=_stats_snapshot(backend),
     )
 
 
@@ -207,4 +224,5 @@ def evaluate_simultaneous(
         equation_evaluations=evaluations,
         elapsed_seconds=time.perf_counter() - start,
         stopped_early=stopped_early,
+        backend_stats=_stats_snapshot(backend),
     )

@@ -7,6 +7,20 @@ each typed variable (``u`` of sort ``Conf`` owns bits ``u.pc.0``, ``u.L.x``,
 *canonical parameter variables* (the parameter names used in its
 declaration); applying a relation to other argument terms renames or
 constrains those bits accordingly.
+
+Static-formula hoisting
+-----------------------
+Fixed-point evaluation re-evaluates equation bodies hundreds of times, but
+only the *relation interpretations* change between iterations — every
+equality, enum comparison, domain constraint and constant cube is the same
+BDD each round.  :meth:`SymbolicBackend.compile_formula` therefore partitions
+a formula once into a **static skeleton** (all relation-free subformulas,
+compiled to BDDs up front) and a small **dynamic residue** of plan nodes over
+the relation applications.  Every dynamic plan node carries a memo table
+keyed by the interpretations of exactly the relations it mentions, so a
+subformula whose relations did not change between iterations is never
+recomputed — the short-circuit that makes the nested (non-monotone)
+evaluation strategy cheap.
 """
 
 from __future__ import annotations
@@ -32,6 +46,7 @@ from .formulas import (
     Succ,
     Top,
     all_vars,
+    relations_of,
 )
 from .relations import Equation, EquationSystem, RelationDecl
 from .sorts import BoolSort, EnumSort, Sort, StructSort
@@ -62,6 +77,181 @@ def default_bit_order(variables: Sequence[Var]) -> List[str]:
             bits.append((path, bit))
     bits.sort(key=lambda item: (path_rank[item[0]], var_rank[item[1].split(".", 1)[0]]))
     return [bit for _, bit in bits]
+
+
+class _Plan:
+    """A compiled formula node: static skeleton plus dynamic residue.
+
+    ``rel_names`` is the sorted tuple of relation names this subformula
+    depends on; ``memo`` caches results keyed by the tuple of those
+    relations' interpretations (BDD nodes are canonical, so equal nodes mean
+    equal interpretations).
+    """
+
+    __slots__ = ("rel_names", "memo")
+
+    def __init__(self, rel_names: Tuple[str, ...]) -> None:
+        self.rel_names = rel_names
+        self.memo: Dict[Tuple[int, ...], int] = {}
+
+    def eval(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
+        key = tuple(interps[name] for name in self.rel_names)
+        cached = self.memo.get(key)
+        if cached is not None:
+            backend.plan_memo_hits += 1
+            return cached
+        backend.plan_memo_misses += 1
+        result = self._compute(backend, interps)
+        self.memo[key] = result
+        return result
+
+    def _compute(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+
+class _StaticPlan(_Plan):
+    """A fully relation-free subformula, compiled once at plan-build time."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: int) -> None:
+        super().__init__(())
+        self.node = node
+
+    def eval(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
+        return self.node
+
+
+class _RelAppPlan(_Plan):
+    """A relation application with precompiled restrict/rename bit maps."""
+
+    __slots__ = ("name", "restrict", "rename")
+
+    def __init__(self, name: str, restrict: Dict[str, bool], rename: Dict[str, str]) -> None:
+        super().__init__((name,))
+        self.name = name
+        self.restrict = restrict
+        self.rename = rename
+
+    def _compute(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
+        return backend._apply_relation(interps[self.name], self.restrict, self.rename)
+
+
+class _NotPlan(_Plan):
+    __slots__ = ("child",)
+
+    def __init__(self, child: _Plan) -> None:
+        super().__init__(child.rel_names)
+        self.child = child
+
+    def _compute(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
+        return backend.manager.not_(self.child.eval(backend, interps))
+
+
+class _NaryPlan(_Plan):
+    """Conjunction/disjunction with the static parts pre-combined."""
+
+    __slots__ = ("static_node", "children", "is_and")
+
+    def __init__(self, static_node: int, children: Sequence[_Plan], is_and: bool) -> None:
+        super().__init__(_merge_rel_names(children))
+        self.static_node = static_node
+        self.children = tuple(children)
+        self.is_and = is_and
+
+    def _compute(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
+        mgr = backend.manager
+        result = self.static_node
+        if self.is_and:
+            for child in self.children:
+                if result == mgr.FALSE:
+                    return mgr.FALSE
+                result = mgr.and_(result, child.eval(backend, interps))
+        else:
+            for child in self.children:
+                if result == mgr.TRUE:
+                    return mgr.TRUE
+                result = mgr.or_(result, child.eval(backend, interps))
+        return result
+
+
+class _ImpliesPlan(_Plan):
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent: _Plan, consequent: _Plan) -> None:
+        super().__init__(_merge_rel_names((antecedent, consequent)))
+        self.antecedent = antecedent
+        self.consequent = consequent
+
+    def _compute(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
+        return backend.manager.implies(
+            self.antecedent.eval(backend, interps),
+            self.consequent.eval(backend, interps),
+        )
+
+
+class _IffPlan(_Plan):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: _Plan, right: _Plan) -> None:
+        super().__init__(_merge_rel_names((left, right)))
+        self.left = left
+        self.right = right
+
+    def _compute(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
+        return backend.manager.iff(
+            self.left.eval(backend, interps), self.right.eval(backend, interps)
+        )
+
+
+class _ExistsPlan(_Plan):
+    """Existential quantification fused into a relational product.
+
+    The domain constraint of the bound variables is static and the
+    quantifier cube is interned once, so each evaluation is a single
+    ``and_exists`` over the dynamic body.
+    """
+
+    __slots__ = ("child", "constraint", "cube")
+
+    def __init__(self, child: _Plan, constraint: int, cube) -> None:
+        super().__init__(child.rel_names)
+        self.child = child
+        self.constraint = constraint
+        self.cube = cube
+
+    def _compute(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
+        mgr = backend.manager
+        body = self.child.eval(backend, interps)
+        if self.cube is None:
+            return mgr.and_(body, self.constraint)
+        if self.constraint == mgr.TRUE:
+            return mgr.exists(body, self.cube)
+        return mgr.and_exists(body, self.constraint, self.cube)
+
+
+class _ForallPlan(_Plan):
+    __slots__ = ("child", "neg_constraint", "cube")
+
+    def __init__(self, child: _Plan, neg_constraint: int, cube) -> None:
+        super().__init__(child.rel_names)
+        self.child = child
+        self.neg_constraint = neg_constraint
+        self.cube = cube
+
+    def _compute(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
+        mgr = backend.manager
+        body = mgr.or_(self.child.eval(backend, interps), self.neg_constraint)
+        if self.cube is None:
+            return body
+        return mgr.forall(body, self.cube)
+
+
+def _merge_rel_names(plans: Iterable[_Plan]) -> Tuple[str, ...]:
+    names: Set[str] = set()
+    for plan in plans:
+        names.update(plan.rel_names)
+    return tuple(sorted(names))
 
 
 class SymbolicContext:
@@ -160,6 +350,17 @@ class SymbolicContext:
         bits = [bool(assignment.get(name, False)) for name in term.bit_names()]
         return term.sort.decode(bits)
 
+    def clear_caches(self) -> None:
+        """Drop the context's own caches *and* the manager's operation caches.
+
+        The manager's :meth:`~repro.bdd.BddManager.clear_caches` does not know
+        about this context's domain-constraint cache; engines reusing a
+        context between runs should call this method instead so the two stay
+        in sync.
+        """
+        self._domain_cache.clear()
+        self.manager.clear_caches()
+
 
 class SymbolicBackend:
     """Evaluates calculus formulas and equations as BDDs.
@@ -193,6 +394,12 @@ class SymbolicBackend:
         variables.extend(extra_variables)
         self.context = context if context is not None else SymbolicContext(variables, order=order)
         self.manager = self.context.manager
+        # Compiled equation bodies (name -> (equation, plan)) plus hoisting
+        # statistics; see the module docstring on static-formula hoisting.
+        self._equation_plans: Dict[str, Tuple[Equation, _Plan]] = {}
+        self.static_hoists = 0
+        self.plan_memo_hits = 0
+        self.plan_memo_misses = 0
 
     # -- backend protocol -------------------------------------------------
     def empty(self, decl: RelationDecl) -> int:
@@ -204,8 +411,94 @@ class SymbolicBackend:
         return left == right
 
     def eval_equation(self, equation: Equation, interps: Mapping[str, int]) -> int:
-        """Evaluate the body of an equation under the given interpretations."""
-        return self.eval_formula(equation.body, interps)
+        """Evaluate the body of an equation under the given interpretations.
+
+        The body is compiled to a hoisted plan the first time it is seen;
+        subsequent evaluations reuse the plan (and its interpretation-keyed
+        memo), so iterations whose relevant relations did not change cost a
+        dictionary lookup.
+        """
+        name = equation.decl.name
+        entry = self._equation_plans.get(name)
+        if entry is None or entry[0] is not equation:
+            plan = self.compile_formula(equation.body)
+            self._equation_plans[name] = (equation, plan)
+        else:
+            plan = entry[1]
+        return plan.eval(self, interps)
+
+    # -- formula hoisting --------------------------------------------------
+    def compile_formula(self, formula: Formula) -> _Plan:
+        """Partition ``formula`` into a static BDD skeleton + dynamic residue."""
+        if not relations_of(formula):
+            self.static_hoists += 1
+            return _StaticPlan(self.eval_formula(formula, {}))
+        mgr = self.manager
+        if isinstance(formula, RelApp):
+            restrict, rename = self._rel_app_maps(formula)
+            return _RelAppPlan(formula.decl.name, restrict, rename)
+        if isinstance(formula, Not):
+            return _NotPlan(self.compile_formula(formula.body))
+        if isinstance(formula, (And, Or)):
+            is_and = isinstance(formula, And)
+            static_parts: List[Formula] = []
+            dynamic_parts: List[Formula] = []
+            for part in formula.parts:
+                (dynamic_parts if relations_of(part) else static_parts).append(part)
+            if is_and:
+                static_node = mgr.conjoin(
+                    self.eval_formula(part, {}) for part in static_parts
+                )
+            else:
+                static_node = mgr.disjoin(
+                    self.eval_formula(part, {}) for part in static_parts
+                )
+            if static_parts:
+                self.static_hoists += 1
+            children = [self.compile_formula(part) for part in dynamic_parts]
+            return _NaryPlan(static_node, children, is_and)
+        if isinstance(formula, Implies):
+            return _ImpliesPlan(
+                self.compile_formula(formula.antecedent),
+                self.compile_formula(formula.consequent),
+            )
+        if isinstance(formula, Iff):
+            return _IffPlan(
+                self.compile_formula(formula.left), self.compile_formula(formula.right)
+            )
+        if isinstance(formula, Exists):
+            child = self.compile_formula(formula.body)
+            constraint = mgr.conjoin(
+                self.context.domain_constraint(var) for var in formula.variables
+            )
+            bits: List[str] = []
+            for var in formula.variables:
+                bits.extend(var.bit_names())
+            self.static_hoists += 1
+            return _ExistsPlan(child, constraint, mgr.quant_cube(bits))
+        if isinstance(formula, Forall):
+            child = self.compile_formula(formula.body)
+            constraint = mgr.conjoin(
+                self.context.domain_constraint(var) for var in formula.variables
+            )
+            bits = []
+            for var in formula.variables:
+                bits.extend(var.bit_names())
+            self.static_hoists += 1
+            return _ForallPlan(child, mgr.not_(constraint), mgr.quant_cube(bits))
+        raise TypeError(f"cannot compile formula node {formula!r}")
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Hoisting/memo counters of this backend plus the manager's stats."""
+        total = self.plan_memo_hits + self.plan_memo_misses
+        return {
+            "static_hoists": self.static_hoists,
+            "plan_memo_hits": self.plan_memo_hits,
+            "plan_memo_misses": self.plan_memo_misses,
+            "plan_memo_hit_rate": (self.plan_memo_hits / total) if total else 0.0,
+            "compiled_equations": len(self._equation_plans),
+            "manager": self.manager.stats(),
+        }
 
     # -- formula compilation ----------------------------------------------
     def eval_formula(self, formula: Formula, interps: Mapping[str, int]) -> int:
@@ -304,15 +597,12 @@ class SymbolicBackend:
         return self.context.encode_cube(term, value)
 
     # -- relation application ------------------------------------------------
-    def _rel_app(self, formula: RelApp, interps: Mapping[str, int]) -> int:
-        mgr = self.manager
-        decl = formula.decl
-        if decl.name not in interps:
-            raise KeyError(f"no interpretation provided for relation {decl.name!r}")
-        node = interps[decl.name]
+    def _rel_app_maps(self, formula: RelApp) -> Tuple[Dict[str, bool], Dict[str, str]]:
+        """The restrict (bit -> constant) and rename (bit -> bit) maps of an
+        application of a relation to argument terms."""
         restrict: Dict[str, bool] = {}
         rename: Dict[str, str] = {}
-        for (param_name, sort), arg in zip(decl.params, formula.args):
+        for (param_name, sort), arg in zip(formula.decl.params, formula.args):
             param_bits = Var(param_name, sort).bit_names()
             if isinstance(arg, Const):
                 for bit, value in zip(param_bits, sort.encode(arg.value)):
@@ -321,6 +611,17 @@ class SymbolicBackend:
                 for bit, target in zip(param_bits, arg.bit_names()):
                     if bit != target:
                         rename[bit] = target
+        return restrict, rename
+
+    def _rel_app(self, formula: RelApp, interps: Mapping[str, int]) -> int:
+        decl = formula.decl
+        if decl.name not in interps:
+            raise KeyError(f"no interpretation provided for relation {decl.name!r}")
+        restrict, rename = self._rel_app_maps(formula)
+        return self._apply_relation(interps[decl.name], restrict, rename)
+
+    def _apply_relation(self, node: int, restrict: Dict[str, bool], rename: Dict[str, str]) -> int:
+        mgr = self.manager
         if restrict:
             node = mgr.restrict(node, restrict)
         if not rename:

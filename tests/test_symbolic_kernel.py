@@ -1,0 +1,346 @@
+"""Guard tests for the fused symbolic kernel.
+
+Covers the pieces the PR's kernel rework touches:
+
+* the ``_rel_app`` rename fall-back (non-injective applications, clashing
+  targets, and the staged-overlap case) against brute-force set semantics,
+* ``and_exists`` vs ``exists(and_(...))`` on randomized BDDs,
+* the order-preserving rename fast path vs the ite rebuild fall-back,
+* the explicit-stack apply option,
+* static-formula hoisting (compiled plans agree with direct evaluation),
+* cache clearing and statistics plumbing.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager
+from repro.fixedpoint import (
+    And,
+    EnumSort,
+    Equation,
+    EquationSystem,
+    Exists,
+    Or,
+    RelationDecl,
+    SymbolicBackend,
+    Var,
+    evaluate_nested,
+)
+
+E = EnumSort("E", 3)
+VALUES = tuple(E.values())
+
+pair_sets = st.sets(
+    st.tuples(st.sampled_from(VALUES), st.sampled_from(VALUES)), max_size=9
+)
+triple_sets = st.sets(
+    st.tuples(
+        st.sampled_from(VALUES), st.sampled_from(VALUES), st.sampled_from(VALUES)
+    ),
+    max_size=12,
+)
+
+
+def _backend(decl, extra_names=("x",)):
+    system = EquationSystem([], inputs=[decl])
+    extra = [Var(name, E) for name in extra_names]
+    return SymbolicBackend(system, extra_variables=extra)
+
+
+def _interp(backend, decl, tuples):
+    mgr = backend.manager
+    return mgr.disjoin(
+        mgr.conjoin(
+            backend.context.encode_cube(var, value)
+            for var, value in zip(decl.param_vars(), tup)
+        )
+        for tup in tuples
+    )
+
+
+def _holds(backend, node, assignment):
+    """Evaluate ``node`` under typed-variable values given as {var: value}."""
+    mgr = backend.manager
+    bits = {}
+    for var, value in assignment.items():
+        bits.update(dict(zip(var.bit_names(), var.sort.encode(value))))
+    return mgr.eval(node, bits)
+
+
+class TestRelAppRenameFallback:
+    """The relation-application paths against brute-force set semantics."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair_sets)
+    def test_non_injective_duplicate_argument(self, tuples):
+        # R(x, x): both canonical parameters rename onto the same bits.
+        R = RelationDecl("R", [("a", E), ("b", E)])
+        backend = _backend(R)
+        x = Var("x", E)
+        node = backend.eval_formula(R(x, x), {"R": _interp(backend, R, tuples)})
+        for i in VALUES:
+            assert _holds(backend, node, {x: i}) == ((i, i) in tuples)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair_sets)
+    def test_swapped_parameters(self, tuples):
+        # R(b, a): an order-violating permutation of the canonical parameters.
+        R = RelationDecl("R", [("a", E), ("b", E)])
+        backend = _backend(R)
+        a, b = Var("a", E), Var("b", E)
+        node = backend.eval_formula(R(b, a), {"R": _interp(backend, R, tuples)})
+        for i in VALUES:
+            for j in VALUES:
+                assert _holds(backend, node, {a: i, b: j}) == ((j, i) in tuples)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair_sets)
+    def test_clashing_target_in_support(self, tuples):
+        # R(b, b): the target bits are already in the interpretation's
+        # support, forcing the equality-conjunction fall-back.
+        R = RelationDecl("R", [("a", E), ("b", E)])
+        backend = _backend(R)
+        b = Var("b", E)
+        node = backend.eval_formula(R(b, b), {"R": _interp(backend, R, tuples)})
+        for j in VALUES:
+            assert _holds(backend, node, {b: j}) == ((j, j) in tuples)
+
+    @settings(max_examples=40, deadline=None)
+    @given(triple_sets)
+    def test_non_injective_with_source_target_overlap(self, tuples):
+        # R3(b, a, a): non-injective and the sources overlap the targets, so
+        # the fall-back must stage through temporary bits.
+        R3 = RelationDecl("R3", [("a", E), ("b", E), ("c", E)])
+        backend = _backend(R3)
+        a, b = Var("a", E), Var("b", E)
+        node = backend.eval_formula(R3(b, a, a), {"R3": _interp(backend, R3, tuples)})
+        for i in VALUES:
+            for j in VALUES:
+                assert _holds(backend, node, {a: i, b: j}) == ((j, i, i) in tuples)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair_sets)
+    def test_constant_and_variable_arguments(self, tuples):
+        # R(1, x): a restrict plus a rename in the same application.
+        R = RelationDecl("R", [("a", E), ("b", E)])
+        backend = _backend(R)
+        x = Var("x", E)
+        node = backend.eval_formula(R(1, x), {"R": _interp(backend, R, tuples)})
+        for j in VALUES:
+            assert _holds(backend, node, {x: j}) == ((1, j) in tuples)
+
+
+VAR8 = list("abcdefgh")
+
+cube_lists = st.lists(
+    st.dictionaries(st.sampled_from(VAR8), st.booleans(), min_size=1), max_size=6
+)
+
+
+def _random_bdd(mgr, cubes):
+    return mgr.disjoin(mgr.cube(cube) for cube in cubes)
+
+
+class TestAndExistsRandomized:
+    @settings(max_examples=100, deadline=None)
+    @given(cube_lists, cube_lists, st.sets(st.sampled_from(VAR8)))
+    def test_and_exists_equals_two_step(self, cubes_f, cubes_g, qvars):
+        mgr = BddManager(VAR8)
+        f = _random_bdd(mgr, cubes_f)
+        g = _random_bdd(mgr, cubes_g)
+        assert mgr.and_exists(f, g, qvars) == mgr.exists(mgr.and_(f, g), qvars)
+
+    @settings(max_examples=60, deadline=None)
+    @given(cube_lists, cube_lists, st.sets(st.sampled_from(VAR8)))
+    def test_and_exists_explicit_stack_agrees(self, cubes_f, cubes_g, qvars):
+        recursive = BddManager(VAR8)
+        iterative = BddManager(VAR8, explicit_stack=True)
+        f_r = _random_bdd(recursive, cubes_f)
+        g_r = _random_bdd(recursive, cubes_g)
+        f_i = _random_bdd(iterative, cubes_f)
+        g_i = _random_bdd(iterative, cubes_g)
+        left = recursive.and_exists(f_r, g_r, qvars)
+        right = iterative.and_exists(f_i, g_i, qvars)
+        free = [name for name in VAR8 if name not in qvars]
+        assert recursive.count_sat(left, VAR8) == iterative.count_sat(right, VAR8)
+        # Structural equality across managers is meaningless; compare
+        # semantically on every assignment of the free variables.
+        for values in itertools.product([False, True], repeat=len(free)):
+            env = dict(zip(free, values))
+            assert recursive.eval(left, env) == iterative.eval(right, env)
+
+
+class TestRenameFastPath:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.dictionaries(st.sampled_from(["a", "b", "c"]), st.booleans(), min_size=1),
+            max_size=5,
+        )
+    )
+    def test_order_preserving_shift(self, cubes):
+        # a/b/c -> x/y/z preserves the support order: structural fast path.
+        mgr = BddManager(["a", "b", "c", "x", "y", "z"])
+        f = _random_bdd(mgr, cubes)
+        before_fast = mgr.stats()["rename_fast_path"]
+        g = mgr.rename(f, {"a": "x", "b": "y", "c": "z"})
+        if mgr.support(f):
+            assert mgr.stats()["rename_fast_path"] > before_fast
+        for values in itertools.product([False, True], repeat=3):
+            env_f = dict(zip(["a", "b", "c"], values))
+            env_g = dict(zip(["x", "y", "z"], values))
+            assert mgr.eval(f, env_f) == mgr.eval(g, env_g)
+        assert mgr.rename(g, {"x": "a", "y": "b", "z": "c"}) == f
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.dictionaries(st.sampled_from(["a", "b", "c"]), st.booleans(), min_size=1),
+            max_size=5,
+        )
+    )
+    def test_order_reversing_fallback(self, cubes):
+        # a/b/c -> z/y/x reverses the order: must take the ite rebuild and
+        # still agree with the semantics.
+        mgr = BddManager(["a", "b", "c", "x", "y", "z"])
+        f = _random_bdd(mgr, cubes)
+        g = mgr.rename(f, {"a": "z", "b": "y", "c": "x"})
+        for values in itertools.product([False, True], repeat=3):
+            env_f = dict(zip(["a", "b", "c"], values))
+            env_g = dict(zip(["z", "y", "x"], values))
+            assert mgr.eval(f, env_f) == mgr.eval(g, env_g)
+
+
+class TestExplicitStackApply:
+    @settings(max_examples=80, deadline=None)
+    @given(cube_lists, cube_lists)
+    def test_binary_connectives_agree(self, cubes_f, cubes_g):
+        recursive = BddManager(VAR8)
+        iterative = BddManager(VAR8, explicit_stack=True)
+        for op in ("and_", "or_", "xor"):
+            f_r = _random_bdd(recursive, cubes_f)
+            g_r = _random_bdd(recursive, cubes_g)
+            f_i = _random_bdd(iterative, cubes_f)
+            g_i = _random_bdd(iterative, cubes_g)
+            left = getattr(recursive, op)(f_r, g_r)
+            right = getattr(iterative, op)(f_i, g_i)
+            assert recursive.count_sat(left, VAR8) == iterative.count_sat(right, VAR8)
+
+    def test_explicit_stack_survives_deep_chains(self):
+        # A conjunction chain over many variables; the recursive path would
+        # need ~n stack frames per apply.
+        names = [f"v{i}" for i in range(600)]
+        mgr = BddManager(names, explicit_stack=True)
+        node = mgr.conjoin(mgr.var(name) for name in names)
+        assert mgr.count_sat(node, names) == 1
+
+
+NODE = EnumSort("Node", 6)
+
+
+def _reachability_system():
+    Reach = RelationDecl("Reach", [("u", NODE)])
+    Init = RelationDecl("Init", [("u", NODE)])
+    Trans = RelationDecl("Trans", [("u", NODE), ("v", NODE)])
+    u = Var("u", NODE)
+    x = Var("x", NODE)
+    body = Or(Init(u), Exists(x, And(Reach(x), Trans(x, u))))
+    system = EquationSystem([Equation(Reach, body)], inputs=[Init, Trans])
+    return system, Reach, Init, Trans, body
+
+
+class TestStaticHoisting:
+    def _inputs(self, backend):
+        u, v = Var("u", NODE), Var("v", NODE)
+        mgr = backend.manager
+        init = mgr.disjoin(backend.context.encode_cube(u, n) for n in (0,))
+        trans = mgr.disjoin(
+            mgr.and_(
+                backend.context.encode_cube(u, a), backend.context.encode_cube(v, b)
+            )
+            for a, b in ((0, 1), (1, 2), (2, 3), (4, 5))
+        )
+        return {"Init": init, "Trans": trans}
+
+    def test_compiled_plan_matches_direct_evaluation(self):
+        system, Reach, Init, Trans, body = _reachability_system()
+        backend = SymbolicBackend(system)
+        inputs = self._inputs(backend)
+        plan = backend.compile_formula(body)
+        assert backend.static_hoists > 0
+        for reach_tuples in ((), (0,), (0, 1), (0, 1, 2, 3)):
+            u = Var("u", NODE)
+            mgr = backend.manager
+            reach = mgr.disjoin(
+                backend.context.encode_cube(u, n) for n in reach_tuples
+            )
+            interps = dict(inputs)
+            interps["Reach"] = reach
+            assert plan.eval(backend, interps) == backend.eval_formula(body, interps)
+
+    def test_plan_memo_short_circuits_repeats(self):
+        system, Reach, Init, Trans, body = _reachability_system()
+        backend = SymbolicBackend(system)
+        inputs = self._inputs(backend)
+        interps = dict(inputs)
+        interps["Reach"] = backend.manager.FALSE
+        equation = system.equation("Reach")
+        first = backend.eval_equation(equation, interps)
+        hits_before = backend.plan_memo_hits
+        second = backend.eval_equation(equation, interps)
+        assert first == second
+        assert backend.plan_memo_hits > hits_before
+
+    def test_nested_evaluation_reports_backend_stats(self):
+        system, Reach, Init, Trans, body = _reachability_system()
+        backend = SymbolicBackend(system)
+        result = evaluate_nested(system, "Reach", backend, self._inputs(backend))
+        stats = result.backend_stats
+        assert stats["static_hoists"] > 0
+        assert "manager" in stats and stats["manager"]["nodes"] > 2
+        u = Var("u", NODE)
+        expected = {(n,) for n in (0, 1, 2, 3)}
+        assert set(backend.models(result.value, Reach)) == expected
+
+
+class TestCacheClearing:
+    def test_manager_has_no_dead_count_cache(self):
+        mgr = BddManager(["a"])
+        assert not hasattr(mgr, "_count_cache")
+
+    def test_context_clear_caches_composes_with_manager(self):
+        system, Reach, Init, Trans, body = _reachability_system()
+        backend = SymbolicBackend(system)
+        u = Var("u", NODE)
+        constraint = backend.context.domain_constraint(u)
+        assert backend.context._domain_cache
+        backend.manager.and_(constraint, backend.manager.var(u.bit_names()[0]))
+        backend.context.clear_caches()
+        assert not backend.context._domain_cache
+        assert not backend.manager._and_cache
+        # Results stay valid: the node table is untouched.
+        assert backend.context.domain_constraint(u) == constraint
+
+    def test_engine_threads_stats_into_result(self):
+        from repro.algorithms import run_sequential
+        from repro.boolprog import parse_program
+        from repro.frontends import resolve_target
+
+        source = """
+        decl g;
+        main() begin
+            g := T;
+            if (g) then
+                target: skip;
+            fi
+        end
+        """
+        program = parse_program(source)
+        locations = resolve_target(program, "main:target")
+        result = run_sequential(program, locations, algorithm="ef-opt")
+        assert result.reachable
+        assert result.stats["static_hoists"] > 0
+        assert result.cache_hit_rate("and") is not None
+        assert result.stats["manager"]["peak_nodes"] > 2
