@@ -61,17 +61,21 @@ def _sequential_row(name: str, program, locations, expected: bool) -> str:
 
 
 def _kernel_stats_line(result) -> str:
-    """One-line kernel summary (hoists, memo/apply hit rates, peak nodes)."""
+    """One-line kernel summary (hoists, memo/apply hit rates, node/GC counts)."""
     stats = result.stats
     if not stats:
         return "  (no kernel statistics)"
     manager = stats.get("manager", {})
     and_rate = manager.get("ops", {}).get("and", {}).get("hit_rate", 0.0)
+    gc = manager.get("gc", {})
     return (
         f"  kernel: static_hoists={stats.get('static_hoists', 0)} "
         f"plan_memo_hit_rate={stats.get('plan_memo_hit_rate', 0.0):.2f} "
         f"and_hit_rate={and_rate:.2f} "
-        f"peak_nodes={manager.get('peak_nodes', 0)}"
+        f"peak_nodes={manager.get('peak_nodes', 0)} "
+        f"live_nodes={manager.get('nodes', 0)} "
+        f"gc_collections={gc.get('collections', 0)} "
+        f"gc_reclaimed={gc.get('reclaimed', 0)}"
     )
 
 
@@ -175,9 +179,16 @@ def kernel(bits: int = 14) -> None:
     from bench_bdd_kernel import kernel_report
 
     print(f"== BDD kernel micro-benchmarks ({bits}-bit synthetic counter) ==")
-    print(f"{'case':10s}  {'time (s)':>9s}  {'checksum':>10s}")
-    for name, seconds, checksum in kernel_report(bits):
-        print(f"{name:10s}  {seconds:9.3f}  {checksum:10d}")
+    print(
+        f"{'case':10s}  {'time (s)':>9s}  {'checksum':>10s}  "
+        f"{'peak nodes':>10s}  {'live nodes':>10s}  {'gc':>4s}"
+    )
+    for name, seconds, result in kernel_report(bits):
+        print(
+            f"{name:10s}  {seconds:9.3f}  {result.checksum:10d}  "
+            f"{result.peak_nodes:10d}  {result.live_nodes:10d}  "
+            f"{result.gc_collections:4d}"
+        )
 
 
 def main(argv: List[str] | None = None) -> int:

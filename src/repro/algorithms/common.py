@@ -3,12 +3,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Callable, Dict, List, Mapping, Tuple
 
 from ..encode.templates import SequentialEncoder
 from ..fixedpoint import EquationSystem, Exists, Formula, RelationDecl, Var
 
-__all__ = ["AlgorithmSpec", "state_vars", "target_query"]
+__all__ = [
+    "AlgorithmSpec",
+    "state_vars",
+    "target_query",
+    "compile_query",
+    "finish_symbolic_run",
+]
 
 
 @dataclass
@@ -54,3 +60,42 @@ def target_query(encoder: SequentialEncoder, summary: RelationDecl, *prefix_args
     u, v = state_vars(encoder, "u", "v")
     target = encoder.decls["Target"]
     return Exists([u, v], summary(*prefix_args, u, v) & target(v.mod, v.pc))
+
+
+def compile_query(backend, inputs: Mapping[str, int], query: Formula) -> Callable[[Mapping[str, int]], bool]:
+    """Shared symbolic-engine prologue: protect inputs, compile the query.
+
+    The input relations are fixed for the whole run, so they are GC-protected
+    up front (the evaluator's safe-point collections must never reclaim a
+    template).  The query formula is compiled once so the early-stop
+    predicate — called after every outer iteration — reuses the hoisted
+    skeleton and the interpretation-keyed memo.  Returns the predicate.
+    """
+    manager = backend.manager
+    for node in inputs.values():
+        manager.ref(node)
+    query_plan = backend.compile_formula(query)
+
+    def query_holds(interps: Mapping[str, int]) -> bool:
+        merged = dict(inputs)
+        merged.update(interps)
+        return query_plan.eval(backend, merged) == manager.TRUE
+
+    return query_holds
+
+
+def finish_symbolic_run(backend, summary_node: int) -> Tuple[int, int, Dict[str, object]]:
+    """Shared symbolic-engine epilogue: snapshot, then release the caches.
+
+    Everything derived from the node table (the summary BDD size, the live
+    node count, the statistics snapshot) is read *before*
+    ``backend.clear_caches()`` — nothing may walk summary BDDs after a clear
+    that could ever compose with a collection.  Returns
+    ``(summary_nodes, live_nodes, stats)``.
+    """
+    manager = backend.manager
+    summary_nodes = manager.node_count(summary_node)
+    live_nodes = len(manager)
+    stats = backend.stats_snapshot()
+    backend.clear_caches()
+    return summary_nodes, live_nodes, stats

@@ -50,7 +50,7 @@ from ..fixedpoint import (
 )
 from ..fixedpoint.symbolic import SymbolicBackend, default_bit_order
 from ..fixedpoint.terms import Field
-from .common import AlgorithmSpec
+from .common import AlgorithmSpec, compile_query, finish_symbolic_run
 from .result import ReachabilityResult
 
 __all__ = ["build_cbr_system", "run_concurrent"]
@@ -333,13 +333,7 @@ def run_concurrent(
     encode_seconds = time.perf_counter() - encode_start
     inputs = templates.interps()
     manager = backend.manager
-    query_plan = backend.compile_formula(spec.query)
-
-    def query_holds(interps: Dict[str, int]) -> bool:
-        merged = dict(inputs)
-        merged.update(interps)
-        return query_plan.eval(backend, merged) == manager.TRUE
-
+    query_holds = compile_query(backend, inputs, spec.query)
     stop = query_holds if early_stop else None
     evaluation = evaluate_nested(
         spec.system,
@@ -365,14 +359,13 @@ def run_concurrent(
         summary_states = manager.count_sat(projected, sorted(keep))
 
     total_seconds = time.perf_counter() - started
-    stats = backend.stats_snapshot()
-    backend.context.clear_caches()
+    summary_nodes, live_nodes, stats = finish_symbolic_run(backend, reach_node)
     return ReachabilityResult(
         reachable=reachable,
         algorithm=f"getafix-cbr(k={context_switches})",
         iterations=evaluation.iterations,
         equation_evaluations=evaluation.equation_evaluations,
-        summary_nodes=manager.node_count(reach_node),
+        summary_nodes=summary_nodes,
         summary_states=summary_states,
         elapsed_seconds=evaluation.elapsed_seconds,
         encode_seconds=encode_seconds,
@@ -380,7 +373,7 @@ def run_concurrent(
         stopped_early=evaluation.stopped_early,
         details={
             "bdd_variables": manager.num_vars,
-            "bdd_total_nodes": len(manager),
+            "bdd_live_nodes": live_nodes,
             "context_switches": context_switches,
             "threads": program.num_threads,
         },

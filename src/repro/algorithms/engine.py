@@ -12,14 +12,14 @@ of MUCKE.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..boolprog import Program, build_cfg, check_program
 from ..fixedpoint import evaluate_nested, evaluate_simultaneous
 from ..fixedpoint.symbolic import SymbolicBackend
 from ..encode.templates import SequentialEncoder
 from . import entry_forward, entry_forward_opt, summary_basic
-from .common import AlgorithmSpec
+from .common import AlgorithmSpec, compile_query, finish_symbolic_run
 from .result import ReachabilityResult
 
 __all__ = ["SEQUENTIAL_ALGORITHMS", "run_sequential"]
@@ -74,16 +74,7 @@ def run_sequential(
 
     inputs = templates.interps()
     manager = backend.manager
-    # The query formula is fixed for the whole run: compile it once so the
-    # early-stop predicate (called after every outer iteration) reuses the
-    # hoisted skeleton and the interpretation-keyed memo.
-    query_plan = backend.compile_formula(spec.query)
-
-    def query_holds(interps: Dict[str, int]) -> bool:
-        merged = dict(inputs)
-        merged.update(interps)
-        return query_plan.eval(backend, merged) == manager.TRUE
-
+    query_holds = compile_query(backend, inputs, spec.query)
     stop = query_holds if early_stop else None
     evaluate = evaluate_nested if spec.evaluation == "nested" else evaluate_simultaneous
     evaluation = evaluate(
@@ -97,23 +88,20 @@ def run_sequential(
     reachable = query_holds(evaluation.interpretations)
     summary_node = evaluation.interpretations[spec.target_relation]
     total_seconds = time.perf_counter() - started
-    stats = backend.stats_snapshot()
-    # Release the run's operation caches (node table stays valid); composes
-    # the manager's cache clearing with the context's own domain cache.
-    backend.context.clear_caches()
+    summary_nodes, live_nodes, stats = finish_symbolic_run(backend, summary_node)
     return ReachabilityResult(
         reachable=reachable,
         algorithm=f"getafix-{spec.name}",
         iterations=evaluation.iterations,
         equation_evaluations=evaluation.equation_evaluations,
-        summary_nodes=manager.node_count(summary_node),
+        summary_nodes=summary_nodes,
         elapsed_seconds=evaluation.elapsed_seconds,
         encode_seconds=encode_seconds,
         total_seconds=total_seconds,
         stopped_early=evaluation.stopped_early,
         details={
             "bdd_variables": manager.num_vars,
-            "bdd_total_nodes": len(manager),
+            "bdd_live_nodes": live_nodes,
             "target_locations": list(target_locations),
             "evaluation_mode": spec.evaluation,
         },

@@ -40,8 +40,10 @@ class ReachabilityResult:
         Engine-specific extras (number of BDD variables, context bound, ...).
     stats:
         Evaluation statistics from the symbolic kernel: per-operation cache
-        hit rates, static-hoist counts, plan-memo hit rates and the peak BDD
-        node-table size.  Empty for the explicit baselines.
+        hit rates, static-hoist counts, plan-memo hit rates, live/peak BDD
+        node counts and garbage-collection counters (safe-point steps,
+        collections, reclaimed nodes, external roots).  Empty for the
+        explicit baselines.
     """
 
     reachable: bool
@@ -66,6 +68,22 @@ class ReachabilityResult:
         if not isinstance(ops, dict) or op not in ops:
             return None
         return ops[op]["hit_rate"]
+
+    def gc_stats(self) -> Optional[Dict[str, object]]:
+        """The kernel's garbage-collection counters, or None (explicit engines)."""
+        manager = self.stats.get("manager")
+        if not isinstance(manager, dict):
+            return None
+        gc = manager.get("gc")
+        return gc if isinstance(gc, dict) else None
+
+    def live_nodes(self) -> Optional[int]:
+        """Live BDD node count at the end of the run, or None."""
+        manager = self.stats.get("manager")
+        if not isinstance(manager, dict):
+            return None
+        nodes = manager.get("nodes")
+        return nodes if isinstance(nodes, int) else None
 
     def verdict(self) -> str:
         """The YES/NO string used in the paper's tables."""

@@ -1,23 +1,34 @@
 """Pure-Python ROBDD library (the symbolic substrate of the reproduction).
 
+The node layer uses *complement edges* — a function handle is a signed edge
+``(node << 1) | complement`` with a single shared terminal, so negation is an
+O(1) edge flip and a function shares every node with its complement — and a
+mark-and-sweep garbage collector with external-reference tracking (see
+:mod:`repro.bdd.manager`).
+
 Public API
 ----------
 :class:`BddManager`
-    The node table and operation layer (integer node handles).
-:class:`Function`
-    Ergonomic wrapper with operator overloading for user code.
+    The node table and operation layer (integer signed-edge handles),
+    including ``ref``/``deref`` external-root tracking, ``collect_garbage``
+    / ``maybe_collect`` and GC hooks.
+:class:`Function` (alias :class:`BddFunction`)
+    Ergonomic wrapper with operator overloading for user code; wrappers are
+    the collector's external references (ref on construction, deref on
+    release/finalisation, context-manager scoped).
 :func:`interleave`, :func:`order_from_affinity`
     Static variable-ordering heuristics ("allocation constraints").
 """
 
 from .manager import BddError, BddManager, QuantCube
-from .function import Function
+from .function import BddFunction, Function
 from .ordering import interleave, order_from_affinity, validate_order
 
 __all__ = [
     "BddError",
     "BddManager",
     "QuantCube",
+    "BddFunction",
     "Function",
     "interleave",
     "order_from_affinity",

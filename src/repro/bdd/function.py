@@ -1,10 +1,23 @@
-"""A user-facing wrapper around BDD nodes with Python operator overloading.
+"""A user-facing wrapper around BDD edges with Python operator overloading.
 
-The :class:`BddManager` works with raw integer node indices for speed; the
-:class:`Function` wrapper offers an ergonomic layer on top of it (``f & g``,
-``~f``, ``f.exists("x")``, ...) for examples, tests and user code that builds
-relations by hand.  The symbolic fixed-point evaluator uses raw node indices
-internally and converts at its API boundary.
+The :class:`BddManager` works with raw integer signed-edge handles for speed;
+the :class:`Function` wrapper offers an ergonomic layer on top of it
+(``f & g``, ``~f``, ``f.exists("x")``, ...) for examples, tests and user code
+that builds relations by hand.  The symbolic fixed-point evaluator uses raw
+edges internally and converts at its API boundary.
+
+Functions are the manager's *external references* for garbage collection: a
+``Function`` refs its edge on construction and derefs it when released, so
+any BDD held in a live wrapper survives :meth:`BddManager.collect_garbage`
+while everything only reachable from dropped wrappers is reclaimed.  Release
+happens automatically on finalisation (``__del__``), explicitly via
+:meth:`release`, or scoped with the context-manager protocol::
+
+    with Function.var(mgr, "x") & Function.var(mgr, "y") as f:
+        ...  # f's nodes are protected here
+    # f is dereferenced; a later collection may reclaim its nodes
+
+``BddFunction`` is an alias of ``Function``.
 """
 
 from __future__ import annotations
@@ -13,17 +26,47 @@ from typing import Dict, Iterable, Iterator, Optional
 
 from .manager import BddManager
 
-__all__ = ["Function"]
+__all__ = ["Function", "BddFunction"]
 
 
 class Function:
-    """An immutable Boolean function owned by a :class:`BddManager`."""
+    """An immutable Boolean function owned by a :class:`BddManager`.
 
-    __slots__ = ("manager", "node")
+    Holding a ``Function`` keeps its BDD nodes alive across garbage
+    collections; dropping (or releasing) it makes them collectable.
+    """
+
+    __slots__ = ("manager", "node", "_owned")
 
     def __init__(self, manager: BddManager, node: int) -> None:
         self.manager = manager
         self.node = node
+        manager.ref(node)
+        self._owned = True
+
+    # -- reference management -------------------------------------------
+    def release(self) -> None:
+        """Drop this wrapper's external reference (idempotent).
+
+        After release the wrapped edge may be reclaimed by the next garbage
+        collection; the wrapper must not be used to keep results alive.
+        """
+        if getattr(self, "_owned", False):
+            self._owned = False
+            self.manager.deref(self.node)
+
+    def __enter__(self) -> "Function":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+    def __del__(self) -> None:
+        try:
+            self.release()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
     # -- constructors --------------------------------------------------
     @classmethod
@@ -161,3 +204,7 @@ class Function:
 
     def __repr__(self) -> str:
         return f"Function(nodes={self.node_count()}, support={sorted(self.support())})"
+
+
+#: Alias emphasising the BDD-handle role of the wrapper.
+BddFunction = Function

@@ -1,43 +1,83 @@
-"""Reduced Ordered Binary Decision Diagram (ROBDD) manager.
+"""Reduced Ordered Binary Decision Diagram (ROBDD) manager with complement
+edges and a mark-and-sweep garbage collector.
 
 This module is the symbolic-representation substrate of the reproduction: it
 plays the role that CUDD plays inside MUCKE in the original Getafix tool.  It
-is a from-scratch, pure-Python ROBDD implementation with the operations the
-fixed-point evaluator needs:
+is a from-scratch, pure-Python implementation with the operations the
+fixed-point evaluator needs.
 
-* dedicated binary ``and_`` / ``or_`` / ``xor`` apply recursions (each with
-  its own memo cache and canonicalised operand order) plus a general
-  ``ite``,
-* existential and universal quantification over *quantifier cubes* —
-  interned, pre-sorted variable sets with a precomputed deepest level,
-* the relational product ``and_exists`` (conjunction + quantification in one
-  recursive pass, the workhorse of symbolic image computation),
-* variable renaming with a structural fast path for order-preserving
-  mappings (the common prime/unprime shift) and an ``ite``-based rebuild for
-  order-violating mappings,
-* restriction (cofactoring), support computation, satisfying-assignment
-  counting and enumeration.
+Signed-edge (complement-edge) representation
+--------------------------------------------
+A BDD function is identified by a *signed edge*: an integer
+``(node_index << 1) | complement_bit``.  There is a single terminal node at
+index 0, so the regular edge ``0`` is the constant FALSE and its complemented
+edge ``1`` is the constant TRUE — the classic ``FALSE == 0`` / ``TRUE == 1``
+constants are preserved.  Negation is an O(1) edge flip (``f ^ 1``): it
+allocates no nodes, touches no cache, and ``f`` and ``not f`` share every
+decision node, which roughly halves the node table on negation-heavy
+workloads (the optimised entry-forward system negates its ``Relevant``
+relation on every outer round).
 
-Nodes are identified by integer indices into parallel arrays; the terminals
-are the indices :data:`BddManager.FALSE` (0) and :data:`BddManager.TRUE` (1).
-The manager does not garbage-collect nodes: for the workloads in this
-repository (model checking scaled-down Boolean programs) the node table stays
-small, and keeping all nodes alive lets every memoisation cache remain valid
-for the lifetime of the manager.
+Canonicity is kept by the *attributed-edge invariant*: the stored ``then``
+(high) edge of every node is regular.  :meth:`BddManager._mk` re-points a
+node whose then-edge would be complemented at its complemented children and
+returns the complemented edge instead, so structural equality of signed
+edges remains function equality.
+
+Complement edges also let several operations share one recursion and cache:
+
+* ``or_(f, g)`` is De Morgan over the ``and_`` cache (``¬(¬f ∧ ¬g)``),
+* ``forall`` is the dual of the ``exists`` recursion (``¬∃.¬f``),
+* ``xor``/``iff`` strip operand signs into the result sign, halving the key
+  space of their shared cache, and ``ite`` delegates its two-operand special
+  cases to the ``and_``/``xor`` caches.
+
+Garbage collection
+------------------
+Nodes are reclaimed by an explicit mark-and-sweep collector.  External roots
+are tracked by reference counts (:meth:`ref` / :meth:`deref` — the
+:class:`~repro.bdd.function.Function` wrapper refs its node for its
+lifetime); :meth:`collect_garbage` marks from those roots plus any *extra
+roots* the caller passes (e.g. the fixed-point evaluator's current
+interpretations), frees every unmarked node into a free list for reuse, and
+drops all operation caches so no cache entry can resurrect a dead node.
+Registered GC hooks let consumers (the symbolic backend's plan memos)
+invalidate their own node-keyed caches in the same sweep.
+
+Collection only runs at *safe points*: callers invoke
+:meth:`maybe_collect` (cheap check against a configurable, geometrically
+growing node-table trigger, plus an optional operation-cache size trigger)
+when every live edge is enumerable — the evaluator does so between outer
+fixed-point iterations.  Nothing collects implicitly during an apply
+recursion, so intermediate results never need protection.
 
 Programs whose encodings have very many bit levels can exceed Python's
-recursion limit in the recursive apply routines; constructing the manager
-with ``explicit_stack=True`` switches the binary connectives to an
-iterative, explicit-stack evaluation that is depth-independent.
+recursion limit; constructing the manager with ``explicit_stack=True``
+switches the binary connectives, ``ite``, the quantifications
+(``exists`` / ``forall`` / ``and_exists``) and both rename paths to
+iterative, explicit-stack evaluations that are depth-independent
+(``restrict``/``compose`` and the enumeration helpers recurse at most one
+frame per variable level and stay recursive).
 
 Every operation family maintains hit/miss counters; :meth:`BddManager.stats`
-exposes them (together with cache and node-table sizes) so callers can report
-cache hit rates and peak table growth per run.
+exposes them together with cache sizes, live/peak node counts and GC
+counters.  :meth:`clear_caches` resets caches, statistics *and* the GC
+bookkeeping in one step so per-run snapshots do not leak across runs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 __all__ = ["BddManager", "BddError", "QuantCube"]
 
@@ -77,7 +117,7 @@ QuantVars = Union[QuantCube, Iterable[Union[int, str]]]
 
 
 class BddManager:
-    """A manager owning a shared multi-rooted ROBDD forest.
+    """A manager owning a shared multi-rooted ROBDD forest (signed edges).
 
     Parameters
     ----------
@@ -87,52 +127,86 @@ class BddManager:
         tested closer to the root.  More variables can be added later with
         :meth:`add_var`, which appends them below all existing levels.
     explicit_stack:
-        When True, the binary connectives (``and_``, ``or_``, ``xor``) run on
-        an explicit work stack instead of Python recursion, so arbitrarily
-        deep BDDs cannot trip the interpreter's recursion limit.
+        When True, the binary connectives, ``ite``, the quantifications and
+        the rename recursions run on an explicit work stack instead of
+        Python recursion, so arbitrarily deep BDDs cannot trip the
+        interpreter's recursion limit.
+    gc_enabled:
+        When False, :meth:`maybe_collect` never collects (explicit
+        :meth:`collect_garbage` calls still work).
+    gc_threshold:
+        Live-node count above which :meth:`maybe_collect` triggers a
+        collection.  After each collection the trigger grows to
+        ``live * gc_growth`` (never below the configured floor), so a table
+        that is mostly live does not thrash.
+    gc_growth:
+        Geometric growth factor of the collection trigger.
+    cache_limit:
+        Optional cap on the summed size of the operation caches; when a
+        :meth:`maybe_collect` safe point finds the caches larger, they are
+        dropped even if no node collection runs.
     """
 
     FALSE = 0
     TRUE = 1
 
-    #: Sentinel level used for the two terminal nodes; always greater than the
-    #: level of any variable node.
+    #: Sentinel level used for the terminal node; greater than any variable.
     _TERMINAL_LEVEL = 1 << 60
+    #: Sentinel level marking a reclaimed (free-listed) node slot.
+    _FREE_LEVEL = -1
 
     def __init__(
         self,
         var_names: Optional[Sequence[str]] = None,
         explicit_stack: bool = False,
+        gc_enabled: bool = True,
+        gc_threshold: int = 65_536,
+        gc_growth: float = 2.0,
+        cache_limit: Optional[int] = None,
     ) -> None:
-        # Parallel node arrays.  Index 0 is FALSE, index 1 is TRUE.
-        self._level: List[int] = [self._TERMINAL_LEVEL, self._TERMINAL_LEVEL]
-        self._lo: List[int] = [0, 1]
-        self._hi: List[int] = [0, 1]
-        # Unique table: (level, lo, hi) -> node index.
+        # Parallel node arrays.  Index 0 is the sole terminal; a signed edge
+        # is (index << 1) | complement, so FALSE = 0 and TRUE = 1.
+        self._level: List[int] = [self._TERMINAL_LEVEL]
+        self._lo: List[int] = [0]
+        self._hi: List[int] = [0]
+        # Unique table: (level, lo_edge, hi_edge) -> node index.
         self._unique: Dict[Tuple[int, int, int], int] = {}
         # Operation caches, one per operation family so one workload cannot
-        # evict another's entries and keys stay small.
+        # evict another's entries and keys stay small.  `or` rides the `and`
+        # cache (De Morgan), `iff` rides `xor`, `forall` rides `exists`.
         self._and_cache: Dict[Tuple[int, int], int] = {}
-        self._or_cache: Dict[Tuple[int, int], int] = {}
         self._xor_cache: Dict[Tuple[int, int], int] = {}
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
-        self._not_cache: Dict[int, int] = {}
         self._exists_cache: Dict[Tuple[int, QuantCube], int] = {}
-        self._forall_cache: Dict[Tuple[int, QuantCube], int] = {}
         self._and_exists_cache: Dict[Tuple[int, int, QuantCube], int] = {}
         self._rename_cache: Dict[Tuple[int, "_RenameMap"], int] = {}
-        # Interning tables for quantifier cubes and rename maps.
+        self._restrict_cache: Dict[Tuple[int, "_RenameMap"], int] = {}
+        # Interning tables for quantifier cubes and rename/restrict maps.
         self._cube_table: Dict[Tuple[int, ...], QuantCube] = {}
         self._rename_table: Dict[Tuple[Tuple[int, int], ...], "_RenameMap"] = {}
+        self._restrict_table: Dict[Tuple[Tuple[int, bool], ...], "_RenameMap"] = {}
         self._explicit_stack = bool(explicit_stack)
         # Hit/miss counters, keyed like the caches.
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
-        for op in ("and", "or", "xor", "ite", "exists", "forall", "and_exists", "rename"):
+        for op in ("and", "xor", "ite", "exists", "and_exists", "rename", "restrict"):
             self._hits[op] = 0
             self._misses[op] = 0
         self._rename_fast = 0
         self._rename_slow = 0
+        # Garbage collection state.
+        self._free: List[int] = []
+        self._live = 1  # the terminal
+        self._peak_live = 1
+        self._extref: Dict[int, int] = {}
+        self._gc_hooks: List[Callable[[], None]] = []
+        self._gc_enabled = bool(gc_enabled)
+        self._gc_floor = int(gc_threshold)
+        self._gc_threshold = int(gc_threshold)
+        self._gc_growth = float(gc_growth)
+        self._cache_limit = cache_limit
+        self._gc_collections = 0
+        self._gc_reclaimed = 0
         # Variable bookkeeping.
         self._var_names: List[str] = []
         self._name_to_var: Dict[str, int] = {}
@@ -174,144 +248,214 @@ class BddManager:
         return len(self._var_names)
 
     def var(self, var: int | str) -> int:
-        """Return the BDD node for a single variable (``x``)."""
+        """Return the BDD edge for a single variable (``x``)."""
         index = self.var_index(var) if isinstance(var, str) else var
         if not 0 <= index < len(self._var_names):
             raise BddError(f"variable index {index} out of range")
         return self._mk(index, self.FALSE, self.TRUE)
 
     def nvar(self, var: int | str) -> int:
-        """Return the BDD node for a negated variable (``not x``)."""
-        index = self.var_index(var) if isinstance(var, str) else var
-        return self._mk(index, self.TRUE, self.FALSE)
+        """Return the BDD edge for a negated variable (``not x``)."""
+        return self.var(var) ^ 1
 
     # ------------------------------------------------------------------
     # Node creation
     # ------------------------------------------------------------------
     def _mk(self, level: int, lo: int, hi: int) -> int:
-        """Find-or-create the node ``(level, lo, hi)`` (with reduction)."""
+        """Find-or-create the node ``(level, lo, hi)``; returns a signed edge.
+
+        Enforces both reduction (``lo == hi`` collapses) and the complement
+        canonical form (the stored then-edge is regular).
+        """
         if lo == hi:
             return lo
+        sign = hi & 1
+        if sign:
+            lo ^= 1
+            hi ^= 1
         key = (level, lo, hi)
-        node = self._unique.get(key)
-        if node is None:
-            node = len(self._level)
-            self._level.append(level)
-            self._lo.append(lo)
-            self._hi.append(hi)
-            self._unique[key] = node
-        return node
+        index = self._unique.get(key)
+        if index is None:
+            free = self._free
+            if free:
+                index = free.pop()
+                self._level[index] = level
+                self._lo[index] = lo
+                self._hi[index] = hi
+            else:
+                index = len(self._level)
+                self._level.append(level)
+                self._lo.append(lo)
+                self._hi.append(hi)
+            self._unique[key] = index
+            self._live += 1
+            if self._live > self._peak_live:
+                self._peak_live = self._live
+        return (index << 1) | sign
 
     # ------------------------------------------------------------------
     # Structural accessors
     # ------------------------------------------------------------------
-    def level_of(self, node: int) -> int:
-        """Return the level of a node (terminals have a large sentinel level)."""
-        return self._level[node]
+    def level_of(self, edge: int) -> int:
+        """Return the level of an edge (terminals have a large sentinel level)."""
+        return self._level[edge >> 1]
 
-    def low(self, node: int) -> int:
-        """Return the low (else) child of a node."""
-        return self._lo[node]
+    def low(self, edge: int) -> int:
+        """Return the low (else) cofactor edge, complement applied."""
+        return self._lo[edge >> 1] ^ (edge & 1)
 
-    def high(self, node: int) -> int:
-        """Return the high (then) child of a node."""
-        return self._hi[node]
+    def high(self, edge: int) -> int:
+        """Return the high (then) cofactor edge, complement applied."""
+        return self._hi[edge >> 1] ^ (edge & 1)
 
-    def is_terminal(self, node: int) -> bool:
-        """True iff the node is one of the two terminals."""
-        return node <= 1
+    def is_terminal(self, edge: int) -> bool:
+        """True iff the edge denotes one of the two constants."""
+        return edge <= 1
+
+    def is_complemented(self, edge: int) -> bool:
+        """True iff the edge carries the complement attribute."""
+        return bool(edge & 1)
+
+    def regular(self, edge: int) -> int:
+        """The regular (sign-stripped) version of an edge."""
+        return edge & ~1
 
     def __len__(self) -> int:
-        """Total number of nodes allocated by this manager (incl. terminals)."""
-        return len(self._level)
+        """Number of *live* nodes owned by this manager (incl. the terminal)."""
+        return self._live
 
     # ------------------------------------------------------------------
     # Core operations
     # ------------------------------------------------------------------
+    def not_(self, f: int) -> int:
+        """Boolean negation: an O(1) complement-edge flip (no allocation)."""
+        return f ^ 1
+
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``(f and g) or (not f and h)``."""
-        # Terminal cases.
+        """If-then-else: ``(f and g) or (not f and h)``.
+
+        Two-operand shapes are delegated to the ``and``/``xor`` caches; only
+        genuinely three-operand calls use the ``ite`` cache, with the first
+        operand made regular (by swapping the branches) and the result sign
+        normalised on the then-branch.
+        """
+        if self._explicit_stack:
+            return self._ite_iter(f, g, h)
+        return self._ite(f, g, h)
+
+    def _ite_norm(self, f: int, g: int, h: int):
+        """Shared ``ite`` normalisation: terminal cases and 2-operand
+        delegations resolve to ``(result, None)``; genuinely 3-operand calls
+        resolve to ``(None, (f, g, h, sign))`` with f and g regular."""
         if f == self.TRUE:
-            return g
+            return g, None
         if f == self.FALSE:
-            return h
+            return h, None
         if g == h:
-            return g
-        if g == self.TRUE and h == self.FALSE:
-            return f
+            return g, None
+        if f & 1:
+            f ^= 1
+            g, h = h, g
+        if g == f:
+            g = 1
+        elif g == f ^ 1:
+            g = 0
+        if h == f:
+            h = 0
+        elif h == f ^ 1:
+            h = 1
+        if g == h:
+            return g, None
+        if g == 1 and h == 0:
+            return f, None
+        if g == 0 and h == 1:
+            return f ^ 1, None
+        if g == 1:  # f or h
+            return self.or_(f, h), None
+        if g == 0:  # not f and h
+            return self.and_(f ^ 1, h), None
+        if h == 0:  # f and g
+            return self.and_(f, g), None
+        if h == 1:  # f implies g
+            return self.and_(f, g ^ 1) ^ 1, None
+        if g == h ^ 1:  # f iff g
+            return self.xor(f, h), None
+        sign = g & 1
+        if sign:
+            g ^= 1
+            h ^= 1
+        return None, (f, g, h, sign)
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        done, triple = self._ite_norm(f, g, h)
+        if triple is None:
+            return done
+        f, g, h, sign = triple
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:
             self._hits["ite"] += 1
-            return cached
+            return cached ^ sign
         self._misses["ite"] += 1
-        level = min(self._level[f], self._level[g], self._level[h])
+        level = min(self._level[f >> 1], self._level[g >> 1], self._level[h >> 1])
         f_lo, f_hi = self._cofactors(f, level)
         g_lo, g_hi = self._cofactors(g, level)
         h_lo, h_hi = self._cofactors(h, level)
-        lo = self.ite(f_lo, g_lo, h_lo)
-        hi = self.ite(f_hi, g_hi, h_hi)
+        lo = self._ite(f_lo, g_lo, h_lo)
+        hi = self._ite(f_hi, g_hi, h_hi)
         result = self._mk(level, lo, hi)
         self._ite_cache[key] = result
-        return result
+        return result ^ sign
 
-    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
-        if self._level[node] == level:
-            return self._lo[node], self._hi[node]
-        return node, node
-
-    def not_(self, f: int) -> int:
-        """Boolean negation."""
-        if f == self.TRUE:
-            return self.FALSE
-        if f == self.FALSE:
-            return self.TRUE
-        if self._explicit_stack:
-            return self._not_iter(f)
-        return self._not(f)
-
-    def _not(self, f: int) -> int:
-        if f <= 1:
-            return 1 - f
-        cached = self._not_cache.get(f)
-        if cached is not None:
-            return cached
-        result = self._mk(self._level[f], self._not(self._lo[f]), self._not(self._hi[f]))
-        self._not_cache[f] = result
-        self._not_cache[result] = f
-        return result
-
-    def _not_iter(self, root: int) -> int:
-        """Explicit-stack negation (same frame scheme as :meth:`_binary_iter`)."""
-        cache = self._not_cache
+    def _ite_iter(self, root_f: int, root_g: int, root_h: int) -> int:
+        """Explicit-stack ``ite`` (frame scheme of :meth:`_and_iter`)."""
+        cache = self._ite_cache
         results: List[int] = []
-        work: List[Tuple[int, int]] = [(0, root)]
+        work: List[Tuple] = [(0, root_f, root_g, root_h)]
         while work:
-            tag, f = work.pop()
-            if tag == 0:
-                if f <= 1:
-                    results.append(1 - f)
+            frame = work.pop()
+            if frame[0] == 0:
+                done, triple = self._ite_norm(frame[1], frame[2], frame[3])
+                if triple is None:
+                    results.append(done)
                     continue
-                cached = cache.get(f)
+                f, g, h, sign = triple
+                key = (f, g, h)
+                cached = cache.get(key)
                 if cached is not None:
-                    results.append(cached)
+                    self._hits["ite"] += 1
+                    results.append(cached ^ sign)
                     continue
-                work.append((1, f))
-                work.append((0, self._hi[f]))
-                work.append((0, self._lo[f]))
+                self._misses["ite"] += 1
+                level = min(
+                    self._level[f >> 1], self._level[g >> 1], self._level[h >> 1]
+                )
+                f_lo, f_hi = self._cofactors(f, level)
+                g_lo, g_hi = self._cofactors(g, level)
+                h_lo, h_hi = self._cofactors(h, level)
+                work.append((1, key, level, sign))
+                work.append((0, f_hi, g_hi, h_hi))
+                work.append((0, f_lo, g_lo, h_lo))
             else:
+                key, level, sign = frame[1], frame[2], frame[3]
                 hi = results.pop()
                 lo = results.pop()
-                result = self._mk(self._level[f], lo, hi)
-                cache[f] = result
-                cache[result] = f
-                results.append(result)
+                result = self._mk(level, lo, hi)
+                cache[key] = result
+                results.append(result ^ sign)
         return results[0]
+
+    def _cofactors(self, edge: int, level: int) -> Tuple[int, int]:
+        index = edge >> 1
+        if self._level[index] == level:
+            sign = edge & 1
+            return self._lo[index] ^ sign, self._hi[index] ^ sign
+        return edge, edge
 
     def and_(self, f: int, g: int) -> int:
         """Boolean conjunction (dedicated apply recursion, own cache)."""
         if self._explicit_stack:
-            return self._binary_iter(f, g, "and")
+            return self._and_iter(f, g)
         return self._and(f, g)
 
     def _and(self, f: int, g: int) -> int:
@@ -319,7 +463,7 @@ class BddManager:
             return f
         if f == 1:
             return g
-        if f == 0 or g == 0:
+        if f == 0 or g == 0 or f == g ^ 1:
             return 0
         # Canonicalise the operand order: conjunction is commutative.
         if f > g:
@@ -330,166 +474,59 @@ class BddManager:
             self._hits["and"] += 1
             return cached
         self._misses["and"] += 1
-        level_f = self._level[f]
-        level_g = self._level[g]
+        f_index = f >> 1
+        g_index = g >> 1
+        level_f = self._level[f_index]
+        level_g = self._level[g_index]
         if level_f == level_g:
             level = level_f
-            lo = self._and(self._lo[f], self._lo[g])
-            hi = self._and(self._hi[f], self._hi[g])
+            f_sign = f & 1
+            g_sign = g & 1
+            lo = self._and(self._lo[f_index] ^ f_sign, self._lo[g_index] ^ g_sign)
+            hi = self._and(self._hi[f_index] ^ f_sign, self._hi[g_index] ^ g_sign)
         elif level_f < level_g:
             level = level_f
-            lo = self._and(self._lo[f], g)
-            hi = self._and(self._hi[f], g)
+            f_sign = f & 1
+            lo = self._and(self._lo[f_index] ^ f_sign, g)
+            hi = self._and(self._hi[f_index] ^ f_sign, g)
         else:
             level = level_g
-            lo = self._and(f, self._lo[g])
-            hi = self._and(f, self._hi[g])
+            g_sign = g & 1
+            lo = self._and(f, self._lo[g_index] ^ g_sign)
+            hi = self._and(f, self._hi[g_index] ^ g_sign)
         result = lo if lo == hi else self._mk(level, lo, hi)
         self._and_cache[key] = result
         return result
 
-    def or_(self, f: int, g: int) -> int:
-        """Boolean disjunction (dedicated apply recursion, own cache)."""
-        if self._explicit_stack:
-            return self._binary_iter(f, g, "or")
-        return self._or(f, g)
-
-    def _or(self, f: int, g: int) -> int:
-        if f == g or g == 0:
-            return f
-        if f == 0:
-            return g
-        if f == 1 or g == 1:
-            return 1
-        if f > g:
-            f, g = g, f
-        key = (f, g)
-        cached = self._or_cache.get(key)
-        if cached is not None:
-            self._hits["or"] += 1
-            return cached
-        self._misses["or"] += 1
-        level_f = self._level[f]
-        level_g = self._level[g]
-        if level_f == level_g:
-            level = level_f
-            lo = self._or(self._lo[f], self._lo[g])
-            hi = self._or(self._hi[f], self._hi[g])
-        elif level_f < level_g:
-            level = level_f
-            lo = self._or(self._lo[f], g)
-            hi = self._or(self._hi[f], g)
-        else:
-            level = level_g
-            lo = self._or(f, self._lo[g])
-            hi = self._or(f, self._hi[g])
-        result = lo if lo == hi else self._mk(level, lo, hi)
-        self._or_cache[key] = result
-        return result
-
-    def xor(self, f: int, g: int) -> int:
-        """Boolean exclusive or (dedicated apply recursion, own cache)."""
-        if self._explicit_stack:
-            return self._binary_iter(f, g, "xor")
-        return self._xor(f, g)
-
-    def _xor(self, f: int, g: int) -> int:
-        if f == g:
-            return 0
-        if g == 0:
-            return f
-        if f == 0:
-            return g
-        if f == 1:
-            return self.not_(g)
-        if g == 1:
-            return self.not_(f)
-        if f > g:
-            f, g = g, f
-        key = (f, g)
-        cached = self._xor_cache.get(key)
-        if cached is not None:
-            self._hits["xor"] += 1
-            return cached
-        self._misses["xor"] += 1
-        level_f = self._level[f]
-        level_g = self._level[g]
-        if level_f == level_g:
-            level = level_f
-            lo = self._xor(self._lo[f], self._lo[g])
-            hi = self._xor(self._hi[f], self._hi[g])
-        elif level_f < level_g:
-            level = level_f
-            lo = self._xor(self._lo[f], g)
-            hi = self._xor(self._hi[f], g)
-        else:
-            level = level_g
-            lo = self._xor(f, self._lo[g])
-            hi = self._xor(f, self._hi[g])
-        result = lo if lo == hi else self._mk(level, lo, hi)
-        self._xor_cache[key] = result
-        return result
-
-    def _binary_terminal(self, f: int, g: int, op: str) -> Optional[int]:
-        """Terminal-case rules of the binary connectives (None if not terminal)."""
-        if op == "and":
-            if f == g or g == 1:
-                return f
-            if f == 1:
-                return g
-            if f == 0 or g == 0:
-                return 0
-        elif op == "or":
-            if f == g or g == 0:
-                return f
-            if f == 0:
-                return g
-            if f == 1 or g == 1:
-                return 1
-        else:  # xor
-            if f == g:
-                return 0
-            if g == 0:
-                return f
-            if f == 0:
-                return g
-            if f == 1:
-                return self.not_(g)
-            if g == 1:
-                return self.not_(f)
-        return None
-
-    def _binary_iter(self, root_f: int, root_g: int, op: str) -> int:
-        """Explicit-stack evaluation of a binary connective.
-
-        Frames are ``(0, f, g)`` for "evaluate this pair" and ``(1, key,
-        level)`` for "combine the two results on top of the result stack"
-        (``key`` being the cache key of the pair).  The lo sub-problem is
-        pushed last so it is evaluated first; a combine frame therefore pops
-        the hi result first.
-        """
-        cache = {"and": self._and_cache, "or": self._or_cache, "xor": self._xor_cache}[op]
+    def _and_iter(self, root_f: int, root_g: int) -> int:
+        """Explicit-stack conjunction (frames as in the seed's binary iter)."""
+        cache = self._and_cache
         results: List[int] = []
         work: List[Tuple] = [(0, root_f, root_g)]
         while work:
             frame = work.pop()
             if frame[0] == 0:
                 f, g = frame[1], frame[2]
-                terminal = self._binary_terminal(f, g, op)
-                if terminal is not None:
-                    results.append(terminal)
+                if f == g or g == 1:
+                    results.append(f)
+                    continue
+                if f == 1:
+                    results.append(g)
+                    continue
+                if f == 0 or g == 0 or f == g ^ 1:
+                    results.append(0)
                     continue
                 if f > g:
                     f, g = g, f
                 key = (f, g)
                 cached = cache.get(key)
                 if cached is not None:
-                    self._hits[op] += 1
+                    self._hits["and"] += 1
                     results.append(cached)
                     continue
-                self._misses[op] += 1
-                level_f = self._level[f]
-                level_g = self._level[g]
+                self._misses["and"] += 1
+                level_f = self._level[f >> 1]
+                level_g = self._level[g >> 1]
                 level = level_f if level_f < level_g else level_g
                 f_lo, f_hi = self._cofactors(f, level)
                 g_lo, g_hi = self._cofactors(g, level)
@@ -505,19 +542,119 @@ class BddManager:
                 results.append(result)
         return results[0]
 
+    def or_(self, f: int, g: int) -> int:
+        """Boolean disjunction: De Morgan over the ``and_`` cache."""
+        if self._explicit_stack:
+            return self._and_iter(f ^ 1, g ^ 1) ^ 1
+        return self._and(f ^ 1, g ^ 1) ^ 1
+
+    def xor(self, f: int, g: int) -> int:
+        """Boolean exclusive or.
+
+        Operand signs cancel into the result sign (``¬f ⊕ g = ¬(f ⊕ g)``), so
+        the cache only ever holds regular operand pairs.
+        """
+        if self._explicit_stack:
+            return self._xor_iter(f, g)
+        return self._xor(f, g)
+
+    def _xor(self, f: int, g: int) -> int:
+        sign = (f ^ g) & 1
+        f &= ~1
+        g &= ~1
+        if f == g:
+            return sign
+        if f == 0:
+            return g ^ sign
+        if g == 0:
+            return f ^ sign
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._xor_cache.get(key)
+        if cached is not None:
+            self._hits["xor"] += 1
+            return cached ^ sign
+        self._misses["xor"] += 1
+        f_index = f >> 1
+        g_index = g >> 1
+        level_f = self._level[f_index]
+        level_g = self._level[g_index]
+        if level_f == level_g:
+            level = level_f
+            lo = self._xor(self._lo[f_index], self._lo[g_index])
+            hi = self._xor(self._hi[f_index], self._hi[g_index])
+        elif level_f < level_g:
+            level = level_f
+            lo = self._xor(self._lo[f_index], g)
+            hi = self._xor(self._hi[f_index], g)
+        else:
+            level = level_g
+            lo = self._xor(f, self._lo[g_index])
+            hi = self._xor(f, self._hi[g_index])
+        result = lo if lo == hi else self._mk(level, lo, hi)
+        self._xor_cache[key] = result
+        return result ^ sign
+
+    def _xor_iter(self, root_f: int, root_g: int) -> int:
+        cache = self._xor_cache
+        results: List[int] = []
+        work: List[Tuple] = [(0, root_f, root_g)]
+        while work:
+            frame = work.pop()
+            if frame[0] == 0:
+                f, g = frame[1], frame[2]
+                sign = (f ^ g) & 1
+                f &= ~1
+                g &= ~1
+                if f == g:
+                    results.append(sign)
+                    continue
+                if f == 0:
+                    results.append(g ^ sign)
+                    continue
+                if g == 0:
+                    results.append(f ^ sign)
+                    continue
+                if f > g:
+                    f, g = g, f
+                key = (f, g)
+                cached = cache.get(key)
+                if cached is not None:
+                    self._hits["xor"] += 1
+                    results.append(cached ^ sign)
+                    continue
+                self._misses["xor"] += 1
+                level_f = self._level[f >> 1]
+                level_g = self._level[g >> 1]
+                level = level_f if level_f < level_g else level_g
+                f_lo, f_hi = self._cofactors(f, level)
+                g_lo, g_hi = self._cofactors(g, level)
+                work.append((1, key, level, sign))
+                work.append((0, f_hi, g_hi))
+                work.append((0, f_lo, g_lo))
+            else:
+                key, level, sign = frame[1], frame[2], frame[3]
+                hi = results.pop()
+                lo = results.pop()
+                result = lo if lo == hi else self._mk(level, lo, hi)
+                cache[key] = result
+                results.append(result ^ sign)
+        return results[0]
+
     # ------------------------------------------------------------------
     # Derived connectives
     # ------------------------------------------------------------------
     def iff(self, f: int, g: int) -> int:
-        """Boolean biconditional."""
-        return self.not_(self.xor(f, g))
+        """Boolean biconditional (the complement of ``xor``)."""
+        return self.xor(f, g) ^ 1
 
     def implies(self, f: int, g: int) -> int:
         """Boolean implication ``f -> g``."""
-        return self.or_(self.not_(f), g)
+        return self.and_(f, g ^ 1) ^ 1
 
     def conjoin(self, nodes: Iterable[int]) -> int:
-        """Conjunction of an iterable of nodes (TRUE for the empty iterable)."""
+        """Conjunction of an iterable of edges (TRUE for the empty iterable)."""
         result = self.TRUE
         for node in nodes:
             result = self.and_(result, node)
@@ -526,7 +663,7 @@ class BddManager:
         return result
 
     def disjoin(self, nodes: Iterable[int]) -> int:
-        """Disjunction of an iterable of nodes (FALSE for the empty iterable)."""
+        """Disjunction of an iterable of edges (FALSE for the empty iterable)."""
         result = self.FALSE
         for node in nodes:
             result = self.or_(result, node)
@@ -561,12 +698,15 @@ class BddManager:
         cube = self.quant_cube(variables)
         if cube is None:
             return f
+        if self._explicit_stack:
+            return self._exists_iter(f, cube)
         return self._exists(f, cube)
 
     def _exists(self, f: int, cube: QuantCube) -> int:
         if f <= 1:
             return f
-        level = self._level[f]
+        index = f >> 1
+        level = self._level[index]
         if level > cube.last:
             return f
         key = (f, cube)
@@ -575,76 +715,122 @@ class BddManager:
             self._hits["exists"] += 1
             return cached
         self._misses["exists"] += 1
+        sign = f & 1
+        lo = self._lo[index] ^ sign
+        hi = self._hi[index] ^ sign
         if level in cube.members:
-            lo = self._exists(self._lo[f], cube)
-            if lo == self.TRUE:
+            r_lo = self._exists(lo, cube)
+            if r_lo == self.TRUE:
                 result = self.TRUE
             else:
-                result = self.or_(lo, self._exists(self._hi[f], cube))
+                result = self.or_(r_lo, self._exists(hi, cube))
         else:
-            lo = self._exists(self._lo[f], cube)
-            hi = self._exists(self._hi[f], cube)
-            result = self._mk(level, lo, hi)
+            result = self._mk(level, self._exists(lo, cube), self._exists(hi, cube))
         self._exists_cache[key] = result
         return result
 
+    def _exists_iter(self, root: int, cube: QuantCube) -> int:
+        """Explicit-stack existential quantification.
+
+        Frames: ``(0, f)`` evaluate; ``(1, key, hi)`` quantified level after
+        the lo branch (preserves the lo == TRUE short-circuit); ``(2, key)``
+        quantified combine; ``(3, key, level)`` free-level combine.
+        """
+        cache = self._exists_cache
+        results: List[int] = []
+        work: List[Tuple] = [(0, root)]
+        while work:
+            frame = work.pop()
+            tag = frame[0]
+            if tag == 0:
+                f = frame[1]
+                if f <= 1:
+                    results.append(f)
+                    continue
+                index = f >> 1
+                level = self._level[index]
+                if level > cube.last:
+                    results.append(f)
+                    continue
+                key = (f, cube)
+                cached = cache.get(key)
+                if cached is not None:
+                    self._hits["exists"] += 1
+                    results.append(cached)
+                    continue
+                self._misses["exists"] += 1
+                sign = f & 1
+                lo = self._lo[index] ^ sign
+                hi = self._hi[index] ^ sign
+                if level in cube.members:
+                    work.append((1, key, hi))
+                    work.append((0, lo))
+                else:
+                    work.append((3, key, level))
+                    work.append((0, hi))
+                    work.append((0, lo))
+            elif tag == 1:
+                key, hi = frame[1], frame[2]
+                r_lo = results.pop()
+                if r_lo == self.TRUE:
+                    cache[key] = self.TRUE
+                    results.append(self.TRUE)
+                else:
+                    results.append(r_lo)
+                    work.append((2, key))
+                    work.append((0, hi))
+            elif tag == 2:
+                key = frame[1]
+                r_hi = results.pop()
+                r_lo = results.pop()
+                result = self.or_(r_lo, r_hi)
+                cache[key] = result
+                results.append(result)
+            else:
+                key, level = frame[1], frame[2]
+                r_hi = results.pop()
+                r_lo = results.pop()
+                result = self._mk(level, r_lo, r_hi)
+                cache[key] = result
+                results.append(result)
+        return results[0]
+
     def forall(self, f: int, variables: QuantVars) -> int:
-        """Universally quantify ``variables`` out of ``f``."""
+        """Universally quantify: the dual of ``exists`` (``¬∃.¬f``)."""
         cube = self.quant_cube(variables)
         if cube is None:
             return f
-        return self._forall(f, cube)
-
-    def _forall(self, f: int, cube: QuantCube) -> int:
-        if f <= 1:
-            return f
-        level = self._level[f]
-        if level > cube.last:
-            return f
-        key = (f, cube)
-        cached = self._forall_cache.get(key)
-        if cached is not None:
-            self._hits["forall"] += 1
-            return cached
-        self._misses["forall"] += 1
-        if level in cube.members:
-            lo = self._forall(self._lo[f], cube)
-            if lo == self.FALSE:
-                result = self.FALSE
-            else:
-                result = self.and_(lo, self._forall(self._hi[f], cube))
-        else:
-            lo = self._forall(self._lo[f], cube)
-            hi = self._forall(self._hi[f], cube)
-            result = self._mk(level, lo, hi)
-        self._forall_cache[key] = result
-        return result
+        if self._explicit_stack:
+            return self._exists_iter(f ^ 1, cube) ^ 1
+        return self._exists(f ^ 1, cube) ^ 1
 
     def and_exists(self, f: int, g: int, variables: QuantVars) -> int:
         """Relational product: ``exists variables. (f and g)`` in one pass."""
         cube = self.quant_cube(variables)
         if cube is None:
             return self.and_(f, g)
+        if self._explicit_stack:
+            return self._and_exists_iter(f, g, cube)
         return self._and_exists(f, g, cube)
 
     def _and_exists(self, f: int, g: int, cube: QuantCube) -> int:
-        if f == 0 or g == 0:
+        if f == 0 or g == 0 or f == g ^ 1:
             return 0
         if f == 1 and g == 1:
             return 1
         if f == 1:
             return self._exists(g, cube)
-        if g == 1:
-            return self._exists(f, cube)
-        if f == g:
+        if g == 1 or f == g:
             return self._exists(f, cube)
         # Canonicalise the argument order for better cache hit rates.
         if f > g:
             f, g = g, f
-        level = min(self._level[f], self._level[g])
+        level_f = self._level[f >> 1]
+        level_g = self._level[g >> 1]
+        level = level_f if level_f < level_g else level_g
         if level > cube.last:
             # No quantified variable can appear below this point.
-            return self.and_(f, g)
+            return self._and(f, g)
         key = (f, g, cube)
         cached = self._and_exists_cache.get(key)
         if cached is not None:
@@ -666,6 +852,78 @@ class BddManager:
             result = self._mk(level, lo, hi)
         self._and_exists_cache[key] = result
         return result
+
+    def _and_exists_iter(self, root_f: int, root_g: int, cube: QuantCube) -> int:
+        """Explicit-stack relational product (frame scheme of :meth:`_exists_iter`)."""
+        cache = self._and_exists_cache
+        results: List[int] = []
+        work: List[Tuple] = [(0, root_f, root_g)]
+        while work:
+            frame = work.pop()
+            tag = frame[0]
+            if tag == 0:
+                f, g = frame[1], frame[2]
+                if f == 0 or g == 0 or f == g ^ 1:
+                    results.append(0)
+                    continue
+                if f == 1 and g == 1:
+                    results.append(1)
+                    continue
+                if f == 1:
+                    results.append(self._exists_iter(g, cube))
+                    continue
+                if g == 1 or f == g:
+                    results.append(self._exists_iter(f, cube))
+                    continue
+                if f > g:
+                    f, g = g, f
+                level_f = self._level[f >> 1]
+                level_g = self._level[g >> 1]
+                level = level_f if level_f < level_g else level_g
+                if level > cube.last:
+                    results.append(self._and_iter(f, g))
+                    continue
+                key = (f, g, cube)
+                cached = cache.get(key)
+                if cached is not None:
+                    self._hits["and_exists"] += 1
+                    results.append(cached)
+                    continue
+                self._misses["and_exists"] += 1
+                f_lo, f_hi = self._cofactors(f, level)
+                g_lo, g_hi = self._cofactors(g, level)
+                if level in cube.members:
+                    work.append((1, key, f_hi, g_hi))
+                    work.append((0, f_lo, g_lo))
+                else:
+                    work.append((3, key, level))
+                    work.append((0, f_hi, g_hi))
+                    work.append((0, f_lo, g_lo))
+            elif tag == 1:
+                key, f_hi, g_hi = frame[1], frame[2], frame[3]
+                lo = results.pop()
+                if lo == self.TRUE:
+                    cache[key] = self.TRUE
+                    results.append(self.TRUE)
+                else:
+                    results.append(lo)
+                    work.append((2, key))
+                    work.append((0, f_hi, g_hi))
+            elif tag == 2:
+                key = frame[1]
+                hi = results.pop()
+                lo = results.pop()
+                result = self.or_(lo, hi)
+                cache[key] = result
+                results.append(result)
+            else:
+                key, level = frame[1], frame[2]
+                hi = results.pop()
+                lo = results.pop()
+                result = self._mk(level, lo, hi)
+                cache[key] = result
+                results.append(result)
+        return results[0]
 
     def _var_set(self, variables: Iterable[int | str]) -> frozenset:
         indices = set()
@@ -691,9 +949,13 @@ class BddManager:
         may also appear in the support of ``f`` unless it is itself renamed
         away.
 
-        Results are cached per (node, interned mapping), so repeated renames
-        of the same function — every fixed-point iteration applies the same
-        relation arguments — are constant-time after the first.
+        Renaming commutes with complementation, so results are cached per
+        (regular edge, interned mapping) and the sign is re-applied on the
+        way out; repeated renames of the same function — every fixed-point
+        iteration applies the same relation arguments — are constant-time
+        after the first: a hit on the cross-call cache skips even the
+        support walk that validates the mapping (validation already passed
+        when the entry was created).
         """
         normalised: Dict[int, int] = {}
         for src, dst in mapping.items():
@@ -703,6 +965,13 @@ class BddManager:
                 normalised[src_index] = dst_index
         if not normalised:
             return f
+        intern_key = tuple(sorted(normalised.items()))
+        rmap = self._rename_table.get(intern_key)
+        if rmap is not None:
+            cached = self._rename_cache.get((f & ~1, rmap))
+            if cached is not None:
+                self._hits["rename"] += 1
+                return cached ^ (f & 1)
         targets = list(normalised.values())
         if len(set(targets)) != len(targets):
             raise BddError("rename mapping must be injective")
@@ -711,7 +980,9 @@ class BddManager:
         if clashes:
             names = sorted(self._var_names[i] for i in clashes)
             raise BddError(f"rename targets already in support: {names}")
-        rmap = self._intern_rename(normalised)
+        if rmap is None:
+            rmap = _RenameMap(dict(normalised))
+            self._rename_table[intern_key] = rmap
         ordered = sorted(support)
         mapped = [normalised.get(levels, levels) for levels in ordered]
         if all(mapped[i] < mapped[i + 1] for i in range(len(mapped) - 1)):
@@ -719,79 +990,138 @@ class BddManager:
             # mapped levels strictly below its parent's mapped level, so the
             # ROBDD invariants survive a direct structural rebuild.
             self._rename_fast += 1
+            if self._explicit_stack:
+                return self._rename_iter(f, rmap, shift=True)
             return self._rename_shift(f, rmap)
         self._rename_slow += 1
+        if self._explicit_stack:
+            return self._rename_iter(f, rmap, shift=False)
         return self._rename_ite(f, rmap)
-
-    def _intern_rename(self, normalised: Dict[int, int]) -> "_RenameMap":
-        key = tuple(sorted(normalised.items()))
-        rmap = self._rename_table.get(key)
-        if rmap is None:
-            rmap = _RenameMap(dict(normalised))
-            self._rename_table[key] = rmap
-        return rmap
 
     def _rename_shift(self, f: int, rmap: "_RenameMap") -> int:
         if f <= 1:
             return f
+        sign = f & 1
+        f ^= sign
         key = (f, rmap)
         cached = self._rename_cache.get(key)
         if cached is not None:
             self._hits["rename"] += 1
-            return cached
+            return cached ^ sign
         self._misses["rename"] += 1
+        index = f >> 1
+        lo = self._rename_shift(self._lo[index], rmap)
+        hi = self._rename_shift(self._hi[index], rmap)
+        level = self._level[index]
         mapping = rmap.mapping
-        lo = self._rename_shift(self._lo[f], rmap)
-        hi = self._rename_shift(self._hi[f], rmap)
-        level = self._level[f]
         result = self._mk(mapping.get(level, level), lo, hi)
         self._rename_cache[key] = result
-        return result
+        return result ^ sign
 
     def _rename_ite(self, f: int, rmap: "_RenameMap") -> int:
         if f <= 1:
             return f
+        sign = f & 1
+        f ^= sign
         key = (f, rmap)
         cached = self._rename_cache.get(key)
         if cached is not None:
             self._hits["rename"] += 1
-            return cached
+            return cached ^ sign
         self._misses["rename"] += 1
-        mapping = rmap.mapping
-        level = self._level[f]
-        lo = self._rename_ite(self._lo[f], rmap)
-        hi = self._rename_ite(self._hi[f], rmap)
-        target = mapping.get(level, level)
+        index = f >> 1
+        lo = self._rename_ite(self._lo[index], rmap)
+        hi = self._rename_ite(self._hi[index], rmap)
+        level = self._level[index]
+        target = rmap.mapping.get(level, level)
         result = self.ite(self.var(target), hi, lo)
         self._rename_cache[key] = result
-        return result
+        return result ^ sign
+
+    def _rename_iter(self, root: int, rmap: "_RenameMap", shift: bool) -> int:
+        """Explicit-stack rename (both the structural shift and ite rebuild)."""
+        cache = self._rename_cache
+        mapping = rmap.mapping
+        results: List[int] = []
+        work: List[Tuple] = [(0, root)]
+        while work:
+            frame = work.pop()
+            if frame[0] == 0:
+                f = frame[1]
+                if f <= 1:
+                    results.append(f)
+                    continue
+                sign = f & 1
+                f ^= sign
+                key = (f, rmap)
+                cached = cache.get(key)
+                if cached is not None:
+                    self._hits["rename"] += 1
+                    results.append(cached ^ sign)
+                    continue
+                self._misses["rename"] += 1
+                index = f >> 1
+                work.append((1, key, sign, self._level[index]))
+                work.append((0, self._hi[index]))
+                work.append((0, self._lo[index]))
+            else:
+                key, sign, level = frame[1], frame[2], frame[3]
+                hi = results.pop()
+                lo = results.pop()
+                target = mapping.get(level, level)
+                if shift:
+                    result = self._mk(target, lo, hi)
+                else:
+                    result = self.ite(self.var(target), hi, lo)
+                cache[key] = result
+                results.append(result ^ sign)
+        return results[0]
 
     def restrict(self, f: int, assignment: Dict[int | str, bool]) -> int:
-        """Cofactor ``f`` by fixing the given variables to constants."""
+        """Cofactor ``f`` by fixing the given variables to constants.
+
+        Like :meth:`rename`, restriction commutes with complementation and
+        the assignment maps are interned, so results live in a cross-call
+        cache keyed (regular edge, interned map) — the compiled relation
+        plans restrict the same interpretations with the same constant
+        arguments on every fixed-point iteration.
+        """
         fixed = {
             (self.var_index(var) if isinstance(var, str) else var): bool(value)
             for var, value in assignment.items()
         }
         if not fixed:
             return f
-        return self._restrict(f, fixed, {})
+        key = tuple(sorted(fixed.items()))
+        fmap = self._restrict_table.get(key)
+        if fmap is None:
+            fmap = _RenameMap(fixed)
+            self._restrict_table[key] = fmap
+        return self._restrict(f, fmap)
 
-    def _restrict(self, f: int, fixed: Dict[int, bool], cache: Dict[int, int]) -> int:
+    def _restrict(self, f: int, fmap: "_RenameMap") -> int:
         if f <= 1:
             return f
-        cached = cache.get(f)
+        sign = f & 1
+        f ^= sign
+        key = (f, fmap)
+        cached = self._restrict_cache.get(key)
         if cached is not None:
-            return cached
-        level = self._level[f]
+            self._hits["restrict"] += 1
+            return cached ^ sign
+        self._misses["restrict"] += 1
+        index = f >> 1
+        level = self._level[index]
+        fixed = fmap.mapping
         if level in fixed:
-            branch = self._hi[f] if fixed[level] else self._lo[f]
-            result = self._restrict(branch, fixed, cache)
+            branch = self._hi[index] if fixed[level] else self._lo[index]
+            result = self._restrict(branch, fmap)
         else:
-            lo = self._restrict(self._lo[f], fixed, cache)
-            hi = self._restrict(self._hi[f], fixed, cache)
+            lo = self._restrict(self._lo[index], fmap)
+            hi = self._restrict(self._hi[index], fmap)
             result = self._mk(level, lo, hi)
-        cache[f] = result
-        return result
+        self._restrict_cache[key] = result
+        return result ^ sign
 
     def compose(self, f: int, var: int | str, g: int) -> int:
         """Substitute the function ``g`` for the variable ``var`` in ``f``."""
@@ -801,20 +1131,23 @@ class BddManager:
     def _compose(self, f: int, index: int, g: int, cache: Dict[int, int]) -> int:
         if f <= 1:
             return f
-        if self._level[f] > index:
+        if self._level[f >> 1] > index:
             return f
+        sign = f & 1
+        f ^= sign
         cached = cache.get(f)
         if cached is not None:
-            return cached
-        level = self._level[f]
+            return cached ^ sign
+        node = f >> 1
+        level = self._level[node]
         if level == index:
-            result = self.ite(g, self._hi[f], self._lo[f])
+            result = self.ite(g, self._hi[node], self._lo[node])
         else:
-            lo = self._compose(self._lo[f], index, g, cache)
-            hi = self._compose(self._hi[f], index, g, cache)
+            lo = self._compose(self._lo[node], index, g, cache)
+            hi = self._compose(self._hi[node], index, g, cache)
             result = self.ite(self.var(level), hi, lo)
         cache[f] = result
-        return result
+        return result ^ sign
 
     # ------------------------------------------------------------------
     # Inspection
@@ -823,15 +1156,15 @@ class BddManager:
         """Set of variable indices the function ``f`` depends on."""
         seen: set = set()
         result: set = set()
-        stack = [f]
+        stack = [f >> 1]
         while stack:
-            node = stack.pop()
-            if node <= 1 or node in seen:
+            index = stack.pop()
+            if index == 0 or index in seen:
                 continue
-            seen.add(node)
-            result.add(self._level[node])
-            stack.append(self._lo[node])
-            stack.append(self._hi[node])
+            seen.add(index)
+            result.add(self._level[index])
+            stack.append(self._lo[index] >> 1)
+            stack.append(self._hi[index] >> 1)
         return result
 
     def support_names(self, f: int) -> set:
@@ -839,16 +1172,20 @@ class BddManager:
         return {self._var_names[index] for index in self.support(f)}
 
     def node_count(self, f: int) -> int:
-        """Number of distinct decision nodes reachable from ``f`` (excl. terminals)."""
+        """Number of distinct decision nodes reachable from ``f`` (excl. terminals).
+
+        ``f`` and ``not f`` share every node under complement edges, so their
+        counts are identical.
+        """
         seen: set = set()
-        stack = [f]
+        stack = [f >> 1]
         while stack:
-            node = stack.pop()
-            if node <= 1 or node in seen:
+            index = stack.pop()
+            if index == 0 or index in seen:
                 continue
-            seen.add(node)
-            stack.append(self._lo[node])
-            stack.append(self._hi[node])
+            seen.add(index)
+            stack.append(self._lo[index] >> 1)
+            stack.append(self._hi[index] >> 1)
         return len(seen)
 
     def count_sat(self, f: int, variables: Optional[Iterable[int | str]] = None) -> int:
@@ -869,20 +1206,24 @@ class BddManager:
         total_levels = len(order)
         below_cache: Dict[Tuple[int, int], int] = {}
 
-        def count_below(node: int, from_pos: int) -> int:
-            """Assignments over variables at positions >= from_pos satisfying node."""
-            if node == self.FALSE:
+        def count_below(edge: int, from_pos: int) -> int:
+            """Assignments over variables at positions >= from_pos satisfying edge."""
+            if edge == self.FALSE:
                 return 0
-            if node == self.TRUE:
+            if edge == self.TRUE:
                 return 1 << (total_levels - from_pos)
-            key = (node, from_pos)
+            if edge & 1:
+                # Complemented edge: count the complement space.
+                return (1 << (total_levels - from_pos)) - count_below(edge ^ 1, from_pos)
+            key = (edge, from_pos)
             cached = below_cache.get(key)
             if cached is not None:
                 return cached
-            level = self._level[node]
+            index = edge >> 1
+            level = self._level[index]
             pos = position[level]
             gap = pos - from_pos
-            sub = count_below(self._lo[node], pos + 1) + count_below(self._hi[node], pos + 1)
+            sub = count_below(self._lo[index], pos + 1) + count_below(self._hi[index], pos + 1)
             result = sub << gap
             below_cache[key] = result
             return result
@@ -894,14 +1235,17 @@ class BddManager:
         if f == self.FALSE:
             return None
         assignment: Dict[int, bool] = {}
-        node = f
-        while node > 1:
-            if self._lo[node] != self.FALSE:
-                assignment[self._level[node]] = False
-                node = self._lo[node]
+        edge = f
+        while edge > 1:
+            index = edge >> 1
+            sign = edge & 1
+            lo = self._lo[index] ^ sign
+            if lo != self.FALSE:
+                assignment[self._level[index]] = False
+                edge = lo
             else:
-                assignment[self._level[node]] = True
-                node = self._hi[node]
+                assignment[self._level[index]] = True
+                edge = self._hi[index] ^ sign
         return assignment
 
     def sat_all(self, f: int, variables: Iterable[int | str]) -> Iterator[Dict[int, bool]]:
@@ -917,23 +1261,29 @@ class BddManager:
             names = sorted(self._var_names[i] for i in missing)
             raise BddError(f"sat_all variables must cover the support; missing {names}")
 
-        def recurse(node: int, pos: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
-            if node == self.FALSE:
+        def recurse(edge: int, pos: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if edge == self.FALSE:
                 return
             if pos == len(var_list):
                 yield dict(partial)
                 return
             index = var_list[pos]
-            level = self._level[node] if node > 1 else self._TERMINAL_LEVEL
+            level = self._level[edge >> 1] if edge > 1 else self._TERMINAL_LEVEL
             if level == index:
-                for value, child in ((False, self._lo[node]), (True, self._hi[node])):
+                sign = edge & 1
+                node = edge >> 1
+                children = (
+                    (False, self._lo[node] ^ sign),
+                    (True, self._hi[node] ^ sign),
+                )
+                for value, child in children:
                     partial[index] = value
                     yield from recurse(child, pos + 1, partial)
                 del partial[index]
             else:
                 for value in (False, True):
                     partial[index] = value
-                    yield from recurse(node, pos + 1, partial)
+                    yield from recurse(edge, pos + 1, partial)
                 del partial[index]
 
         yield from recurse(f, 0, {})
@@ -952,30 +1302,175 @@ class BddManager:
             (self.var_index(var) if isinstance(var, str) else var): bool(value)
             for var, value in assignment.items()
         }
-        node = f
-        while node > 1:
-            level = self._level[node]
+        edge = f
+        while edge > 1:
+            index = edge >> 1
+            level = self._level[index]
             if level not in fixed:
                 raise BddError(
                     f"assignment does not cover variable {self._var_names[level]!r}"
                 )
-            node = self._hi[node] if fixed[level] else self._lo[node]
-        return node == self.TRUE
+            sign = edge & 1
+            edge = (self._hi[index] if fixed[level] else self._lo[index]) ^ sign
+        return edge == self.TRUE
+
+    # ------------------------------------------------------------------
+    # External references / garbage collection
+    # ------------------------------------------------------------------
+    def ref(self, edge: int) -> int:
+        """Register an external reference to ``edge``; returns the edge.
+
+        Referenced nodes (and everything below them) survive
+        :meth:`collect_garbage`.  The :class:`~repro.bdd.function.Function`
+        wrapper refs its node on construction and derefs it on release.
+        """
+        index = edge >> 1
+        if index:
+            self._extref[index] = self._extref.get(index, 0) + 1
+        return edge
+
+    def deref(self, edge: int) -> None:
+        """Drop one external reference to ``edge`` (no-op when not referenced)."""
+        index = edge >> 1
+        count = self._extref.get(index)
+        if count is None:
+            return
+        if count <= 1:
+            del self._extref[index]
+        else:
+            self._extref[index] = count - 1
+
+    def external_references(self) -> int:
+        """Number of distinct externally referenced nodes."""
+        return len(self._extref)
+
+    def add_gc_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback run after every sweep that reclaimed nodes.
+
+        Consumers that key their own caches on node edges (the symbolic
+        backend's plan memos) use this to invalidate them in the same sweep,
+        so no external cache can resurrect a dead node.
+        """
+        self._gc_hooks.append(hook)
+
+    def remove_gc_hook(self, hook: Callable[[], None]) -> None:
+        """Unregister a GC hook (no-op if not registered).
+
+        Consumers with a shorter lifetime than the manager (e.g. a symbolic
+        backend sharing a long-lived context) must remove their hook when
+        they are done, or the manager keeps them alive and keeps running
+        their invalidation on every sweep.
+        """
+        try:
+            self._gc_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def collect_garbage(self, roots: Iterable[int] = ()) -> int:
+        """Mark-and-sweep collection; returns the number of reclaimed nodes.
+
+        Live nodes are those reachable from externally referenced nodes
+        (:meth:`ref`) or from ``roots`` (extra edges the caller knows to be
+        live, e.g. the evaluator's current interpretations).  Reclaimed slots
+        go to a free list and are reused by :meth:`_mk`; all operation caches
+        are dropped (their keys and values may mention dead edges) and GC
+        hooks run so consumers drop node-keyed caches of their own.
+        """
+        marked = bytearray(len(self._level))
+        marked[0] = 1
+        # Snapshot the root set: a Function finaliser running off a cyclic-GC
+        # pass triggered by an allocation below may deref (mutate _extref)
+        # mid-collection.  Every stored count is > 0 by construction.
+        stack: List[int] = list(self._extref)
+        for edge in roots:
+            stack.append(edge >> 1)
+        level = self._level
+        lo = self._lo
+        hi = self._hi
+        while stack:
+            index = stack.pop()
+            if marked[index]:
+                continue
+            marked[index] = 1
+            stack.append(lo[index] >> 1)
+            stack.append(hi[index] >> 1)
+        reclaimed = 0
+        free_level = self._FREE_LEVEL
+        for index in range(1, len(level)):
+            if marked[index] or level[index] == free_level:
+                continue
+            del self._unique[(level[index], lo[index], hi[index])]
+            level[index] = free_level
+            lo[index] = 0
+            hi[index] = 0
+            self._free.append(index)
+            reclaimed += 1
+        self._gc_collections += 1
+        if reclaimed:
+            self._live -= reclaimed
+            self._gc_reclaimed += reclaimed
+            # Cache entries may point into reclaimed slots; drop them all so
+            # a future lookup can never resurrect a dead node.
+            self._drop_op_caches()
+            for hook in self._gc_hooks:
+                hook()
+        return reclaimed
+
+    def maybe_collect(self, roots: Iterable[int] = ()) -> bool:
+        """Collect at a safe point if a growth trigger fired; True if collected.
+
+        The node-table trigger compares the live count against
+        ``gc_threshold`` and, after a collection, grows geometrically with
+        the surviving live set so mostly-live tables do not thrash.  The
+        optional ``cache_limit`` trigger drops oversized operation caches
+        even when no collection runs.
+        """
+        if self._gc_enabled and self._live >= self._gc_threshold:
+            self.collect_garbage(roots)
+            self._gc_threshold = max(self._gc_floor, int(self._live * self._gc_growth))
+            return True
+        if self._cache_limit is not None and self._cache_entries() > self._cache_limit:
+            self._drop_op_caches()
+        return False
+
+    def _cache_entries(self) -> int:
+        return (
+            len(self._and_cache)
+            + len(self._xor_cache)
+            + len(self._ite_cache)
+            + len(self._exists_cache)
+            + len(self._and_exists_cache)
+            + len(self._rename_cache)
+            + len(self._restrict_cache)
+        )
+
+    def _drop_op_caches(self) -> None:
+        self._and_cache.clear()
+        self._xor_cache.clear()
+        self._ite_cache.clear()
+        self._exists_cache.clear()
+        self._and_exists_cache.clear()
+        self._rename_cache.clear()
+        self._restrict_cache.clear()
 
     # ------------------------------------------------------------------
     # Maintenance / statistics
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
-        """Drop all operation caches (node table is kept)."""
-        self._and_cache.clear()
-        self._or_cache.clear()
-        self._xor_cache.clear()
-        self._ite_cache.clear()
-        self._not_cache.clear()
-        self._exists_cache.clear()
-        self._forall_cache.clear()
-        self._and_exists_cache.clear()
-        self._rename_cache.clear()
+        """Reset the run's caches, statistics and GC bookkeeping.
+
+        Drops all operation caches (the node table and external references
+        are kept), zeroes the hit/miss and GC counters, restores the GC
+        trigger to its configured floor and re-bases the peak-node watermark
+        at the current live count — so statistics snapshots taken after a
+        clear describe only the work since the clear.
+        """
+        self._drop_op_caches()
+        self.reset_stats()
+        self._gc_threshold = self._gc_floor
+        self._gc_collections = 0
+        self._gc_reclaimed = 0
+        self._peak_live = self._live
 
     def reset_stats(self) -> None:
         """Zero every hit/miss counter (cache contents are untouched)."""
@@ -986,10 +1481,11 @@ class BddManager:
         self._rename_slow = 0
 
     def stats(self) -> Dict[str, object]:
-        """Operation counters, cache hit rates and table sizes for this manager.
+        """Operation counters, cache hit rates, table sizes and GC counters.
 
-        The node table never shrinks, so ``nodes`` is also the peak table
-        size of the run.
+        ``nodes`` is the current *live* node count, ``peak_nodes`` the
+        watermark since construction or the last :meth:`clear_caches`, and
+        ``capacity`` the allocated slot count (live + free-listed).
         """
         ops: Dict[str, Dict[str, float]] = {}
         for op in self._hits:
@@ -1003,18 +1499,17 @@ class BddManager:
             }
         cache_sizes = {
             "and": len(self._and_cache),
-            "or": len(self._or_cache),
             "xor": len(self._xor_cache),
             "ite": len(self._ite_cache),
-            "not": len(self._not_cache),
             "exists": len(self._exists_cache),
-            "forall": len(self._forall_cache),
             "and_exists": len(self._and_exists_cache),
             "rename": len(self._rename_cache),
+            "restrict": len(self._restrict_cache),
         }
         return {
-            "nodes": len(self._level),
-            "peak_nodes": len(self._level),
+            "nodes": self._live,
+            "peak_nodes": self._peak_live,
+            "capacity": len(self._level),
             "vars": len(self._var_names),
             "quant_cubes": len(self._cube_table),
             "rename_maps": len(self._rename_table),
@@ -1022,6 +1517,14 @@ class BddManager:
             "rename_fallback": self._rename_slow,
             "ops": ops,
             "cache_sizes": cache_sizes,
+            "gc": {
+                "enabled": self._gc_enabled,
+                "threshold": self._gc_threshold,
+                "collections": self._gc_collections,
+                "reclaimed": self._gc_reclaimed,
+                "external_roots": len(self._extref),
+                "free_slots": len(self._free),
+            },
         }
 
     def to_expr(self, f: int) -> str:
@@ -1030,12 +1533,20 @@ class BddManager:
             return "FALSE"
         if f == self.TRUE:
             return "TRUE"
-        name = self._var_names[self._level[f]]
-        return f"ite({name}, {self.to_expr(self._hi[f])}, {self.to_expr(self._lo[f])})"
+        if f & 1:
+            return f"not({self.to_expr(f ^ 1)})"
+        index = f >> 1
+        name = self._var_names[self._level[index]]
+        return f"ite({name}, {self.to_expr(self._hi[index])}, {self.to_expr(self._lo[index])})"
 
 
 class _RenameMap:
-    """An interned variable-renaming mapping (identity-hashed cache key)."""
+    """An interned variable mapping (identity-hashed cache key).
+
+    Used both for rename maps (level -> level) and restrict assignments
+    (level -> bool); interning makes the map a cheap cross-call cache-key
+    component.
+    """
 
     __slots__ = ("mapping",)
 

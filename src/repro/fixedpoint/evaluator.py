@@ -20,6 +20,7 @@ and iteration statistics.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional
@@ -78,6 +79,19 @@ def _stats_snapshot(backend: Any) -> Dict[str, Any]:
     return snapshot() if callable(snapshot) else {}
 
 
+def _gc_step(backend: Any) -> Optional[Callable[[Any], bool]]:
+    """The backend's safe-point garbage-collection hook, if it has one.
+
+    Symbolic backends expose ``gc_step(roots)`` (see
+    :meth:`repro.fixedpoint.symbolic.SymbolicBackend.gc_step`); the explicit
+    backends have nothing to collect.  Both evaluation strategies call the
+    hook between outer iterations — the only points where every live
+    interpretation edge is enumerable — passing those edges as roots.
+    """
+    hook = getattr(backend, "gc_step", None)
+    return hook if callable(hook) else None
+
+
 def evaluate_nested(
     system: EquationSystem,
     target: str,
@@ -115,6 +129,7 @@ def evaluate_nested(
     stats = {"evaluations": 0}
     interpretations: Dict[str, Any] = {}
     stopped = {"early": False}
+    gc_step = _gc_step(backend)
     # The dependency sets are derived from the (immutable) equation bodies;
     # hoist them out of the iteration loops instead of re-walking every
     # formula on every round.
@@ -144,6 +159,18 @@ def evaluate_nested(
                 {key: value for key, value in env.items() if key in system.equations}
             )
             interpretations[name] = updated
+            if depth == 0 and gc_step is not None:
+                # Safe point: every live interpretation edge is in one of
+                # these mappings (inner evaluations restart from empty and
+                # re-derive everything else from caches that GC may drop).
+                gc_step(
+                    itertools.chain(
+                        fixed.values(),
+                        env.values(),
+                        interpretations.values(),
+                        (current, updated),
+                    )
+                )
             if depth == 0 and stop is not None and stop(interpretations):
                 stopped["early"] = True
                 current = updated
@@ -198,6 +225,7 @@ def evaluate_simultaneous(
     iterations = 0
     evaluations = 0
     stopped_early = False
+    gc_step = _gc_step(backend)
     while True:
         iterations += 1
         if iterations > max_iterations:
@@ -211,6 +239,10 @@ def evaluate_simultaneous(
             if not backend.equal(updated, interpretations[name]):
                 changed = True
             interpretations[name] = updated
+        if gc_step is not None:
+            # Safe point: the round's live edges are exactly the current
+            # interpretations (inputs included).
+            gc_step(interpretations.values())
         if stop is not None and stop(interpretations):
             stopped_early = True
             break

@@ -21,13 +21,32 @@ keyed by the interpretations of exactly the relations it mentions, so a
 subformula whose relations did not change between iterations is never
 recomputed — the short-circuit that makes the nested (non-monotone)
 evaluation strategy cheap.
+
+Garbage-collection contract
+---------------------------
+The manager's mark-and-sweep collector (see :mod:`repro.bdd.manager`) only
+runs at safe points, and this backend is its main client:
+
+* every *static* edge the compiled plans hold forever (hoisted skeletons,
+  quantifier domain constraints, the context's domain-constraint cache) is
+  GC-protected via :meth:`BddManager.ref` when it is built;
+* every plan memo is registered with the backend, and the backend installs a
+  manager GC hook that clears them all whenever a sweep reclaims nodes — an
+  interpretation-keyed memo can therefore never resurrect a dead node;
+* evaluators call :meth:`SymbolicBackend.gc_step` between outer fixed-point
+  iterations with the currently live interpretation edges as extra roots,
+  which is the safe point where :meth:`BddManager.maybe_collect` may sweep.
+
+:meth:`SymbolicBackend.clear_caches` composes the whole stack: plan memos,
+this backend's memo counters, the context's domain cache and the manager's
+caches, statistics and GC bookkeeping are reset together between runs.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..bdd import BddManager
+from ..bdd import BddError, BddManager
 from .formulas import (
     And,
     BoolAtom,
@@ -95,7 +114,12 @@ class _Plan:
         self.memo: Dict[Tuple[int, ...], int] = {}
 
     def eval(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
-        key = tuple(interps[name] for name in self.rel_names)
+        try:
+            key = tuple(interps[name] for name in self.rel_names)
+        except KeyError as exc:
+            raise KeyError(
+                f"no interpretation provided for relation {exc.args[0]!r}"
+            ) from None
         cached = self.memo.get(key)
         if cached is not None:
             backend.plan_memo_hits += 1
@@ -107,6 +131,14 @@ class _Plan:
 
     def _compute(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
         raise NotImplementedError
+
+    def child_plans(self) -> Tuple["_Plan", ...]:
+        """Direct sub-plans (for release walks over a plan tree)."""
+        return ()
+
+    def protected_edges(self) -> Tuple[int, ...]:
+        """Static edges this plan node had GC-protected at compile time."""
+        return ()
 
 
 class _StaticPlan(_Plan):
@@ -120,6 +152,9 @@ class _StaticPlan(_Plan):
 
     def eval(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
         return self.node
+
+    def protected_edges(self) -> Tuple[int, ...]:
+        return (self.node,)
 
 
 class _RelAppPlan(_Plan):
@@ -146,6 +181,9 @@ class _NotPlan(_Plan):
 
     def _compute(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
         return backend.manager.not_(self.child.eval(backend, interps))
+
+    def child_plans(self) -> Tuple[_Plan, ...]:
+        return (self.child,)
 
 
 class _NaryPlan(_Plan):
@@ -174,6 +212,12 @@ class _NaryPlan(_Plan):
                 result = mgr.or_(result, child.eval(backend, interps))
         return result
 
+    def child_plans(self) -> Tuple[_Plan, ...]:
+        return self.children
+
+    def protected_edges(self) -> Tuple[int, ...]:
+        return (self.static_node,)
+
 
 class _ImpliesPlan(_Plan):
     __slots__ = ("antecedent", "consequent")
@@ -189,6 +233,9 @@ class _ImpliesPlan(_Plan):
             self.consequent.eval(backend, interps),
         )
 
+    def child_plans(self) -> Tuple[_Plan, ...]:
+        return (self.antecedent, self.consequent)
+
 
 class _IffPlan(_Plan):
     __slots__ = ("left", "right")
@@ -202,6 +249,9 @@ class _IffPlan(_Plan):
         return backend.manager.iff(
             self.left.eval(backend, interps), self.right.eval(backend, interps)
         )
+
+    def child_plans(self) -> Tuple[_Plan, ...]:
+        return (self.left, self.right)
 
 
 class _ExistsPlan(_Plan):
@@ -229,6 +279,12 @@ class _ExistsPlan(_Plan):
             return mgr.exists(body, self.cube)
         return mgr.and_exists(body, self.constraint, self.cube)
 
+    def child_plans(self) -> Tuple[_Plan, ...]:
+        return (self.child,)
+
+    def protected_edges(self) -> Tuple[int, ...]:
+        return (self.constraint,)
+
 
 class _ForallPlan(_Plan):
     __slots__ = ("child", "neg_constraint", "cube")
@@ -245,6 +301,12 @@ class _ForallPlan(_Plan):
         if self.cube is None:
             return body
         return mgr.forall(body, self.cube)
+
+    def child_plans(self) -> Tuple[_Plan, ...]:
+        return (self.child,)
+
+    def protected_edges(self) -> Tuple[int, ...]:
+        return (self.neg_constraint,)
 
 
 def _merge_rel_names(plans: Iterable[_Plan]) -> Tuple[str, ...]:
@@ -313,14 +375,15 @@ class SymbolicContext:
         """BDD constraining ``term`` to valid values of its sort.
 
         Only enum sorts whose size is not a power of two produce a non-trivial
-        constraint; everything else is TRUE.
+        constraint; everything else is TRUE.  Cached constraints are
+        GC-protected for the lifetime of the cache entry.
         """
         key = ".".join(term.bit_names()) + ":" + term.sort.name
         cached = self._domain_cache.get(key)
         if cached is not None:
             return cached
         node = self._domain_constraint(term.sort, term.bit_names())
-        self._domain_cache[key] = node
+        self._domain_cache[key] = self.manager.ref(node)
         return node
 
     def _domain_constraint(self, sort: Sort, bits: Sequence[str]) -> int:
@@ -356,8 +419,12 @@ class SymbolicContext:
         The manager's :meth:`~repro.bdd.BddManager.clear_caches` does not know
         about this context's domain-constraint cache; engines reusing a
         context between runs should call this method instead so the two stay
-        in sync.
+        in sync.  Cached domain constraints are dereferenced (they become
+        collectable) and the manager also resets its statistics and GC
+        bookkeeping, so snapshots taken after a clear describe a fresh run.
         """
+        for node in self._domain_cache.values():
+            self.manager.deref(node)
         self._domain_cache.clear()
         self.manager.clear_caches()
 
@@ -400,6 +467,14 @@ class SymbolicBackend:
         self.static_hoists = 0
         self.plan_memo_hits = 0
         self.plan_memo_misses = 0
+        # GC contract: memos of every compiled plan (cleared when a sweep
+        # reclaims nodes, keyed by identity for O(1) release) and reference
+        # counts of the static edges protected for plan lifetime.
+        self._plan_memos: Dict[int, Dict[Tuple[int, ...], int]] = {}
+        self._protected: Dict[int, int] = {}
+        self.gc_steps = 0
+        self.gc_collections = 0
+        self.manager.add_gc_hook(self._clear_plan_memos)
 
     # -- backend protocol -------------------------------------------------
     def empty(self, decl: RelationDecl) -> int:
@@ -421,6 +496,11 @@ class SymbolicBackend:
         name = equation.decl.name
         entry = self._equation_plans.get(name)
         if entry is None or entry[0] is not equation:
+            if entry is not None:
+                # A caller handed us a rebuilt Equation for the same
+                # relation: release the superseded plan tree so its memos
+                # and protected skeletons do not accumulate forever.
+                self._release_plan(entry[1])
             plan = self.compile_formula(equation.body)
             self._equation_plans[name] = (equation, plan)
         else:
@@ -429,16 +509,20 @@ class SymbolicBackend:
 
     # -- formula hoisting --------------------------------------------------
     def compile_formula(self, formula: Formula) -> _Plan:
-        """Partition ``formula`` into a static BDD skeleton + dynamic residue."""
+        """Partition ``formula`` into a static BDD skeleton + dynamic residue.
+
+        Static edges baked into the returned plan are GC-protected and every
+        plan memo is registered for invalidation on collection.
+        """
         if not relations_of(formula):
             self.static_hoists += 1
-            return _StaticPlan(self.eval_formula(formula, {}))
+            return self._register(_StaticPlan(self._protect(self.eval_formula(formula, {}))))
         mgr = self.manager
         if isinstance(formula, RelApp):
             restrict, rename = self._rel_app_maps(formula)
-            return _RelAppPlan(formula.decl.name, restrict, rename)
+            return self._register(_RelAppPlan(formula.decl.name, restrict, rename))
         if isinstance(formula, Not):
-            return _NotPlan(self.compile_formula(formula.body))
+            return self._register(_NotPlan(self.compile_formula(formula.body)))
         if isinstance(formula, (And, Or)):
             is_and = isinstance(formula, And)
             static_parts: List[Formula] = []
@@ -456,15 +540,19 @@ class SymbolicBackend:
             if static_parts:
                 self.static_hoists += 1
             children = [self.compile_formula(part) for part in dynamic_parts]
-            return _NaryPlan(static_node, children, is_and)
+            return self._register(_NaryPlan(self._protect(static_node), children, is_and))
         if isinstance(formula, Implies):
-            return _ImpliesPlan(
-                self.compile_formula(formula.antecedent),
-                self.compile_formula(formula.consequent),
+            return self._register(
+                _ImpliesPlan(
+                    self.compile_formula(formula.antecedent),
+                    self.compile_formula(formula.consequent),
+                )
             )
         if isinstance(formula, Iff):
-            return _IffPlan(
-                self.compile_formula(formula.left), self.compile_formula(formula.right)
+            return self._register(
+                _IffPlan(
+                    self.compile_formula(formula.left), self.compile_formula(formula.right)
+                )
             )
         if isinstance(formula, Exists):
             child = self.compile_formula(formula.body)
@@ -475,7 +563,9 @@ class SymbolicBackend:
             for var in formula.variables:
                 bits.extend(var.bit_names())
             self.static_hoists += 1
-            return _ExistsPlan(child, constraint, mgr.quant_cube(bits))
+            return self._register(
+                _ExistsPlan(child, self._protect(constraint), mgr.quant_cube(bits))
+            )
         if isinstance(formula, Forall):
             child = self.compile_formula(formula.body)
             constraint = mgr.conjoin(
@@ -485,11 +575,93 @@ class SymbolicBackend:
             for var in formula.variables:
                 bits.extend(var.bit_names())
             self.static_hoists += 1
-            return _ForallPlan(child, mgr.not_(constraint), mgr.quant_cube(bits))
+            return self._register(
+                _ForallPlan(child, self._protect(mgr.not_(constraint)), mgr.quant_cube(bits))
+            )
         raise TypeError(f"cannot compile formula node {formula!r}")
 
+    def _register(self, plan: _Plan) -> _Plan:
+        """Track a plan's memo so GC sweeps can invalidate it."""
+        self._plan_memos[id(plan.memo)] = plan.memo
+        return plan
+
+    def _protect(self, node: int) -> int:
+        """GC-protect a static edge for the lifetime of this backend."""
+        self.manager.ref(node)
+        self._protected[node] = self._protected.get(node, 0) + 1
+        return node
+
+    def _release_plan(self, plan: _Plan) -> None:
+        """Undo registration/protection for a superseded plan tree."""
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            stack.extend(node.child_plans())
+            self._plan_memos.pop(id(node.memo), None)
+            for edge in node.protected_edges():
+                self.manager.deref(edge)
+                count = self._protected.get(edge, 0)
+                if count <= 1:
+                    self._protected.pop(edge, None)
+                else:
+                    self._protected[edge] = count - 1
+
+    def _clear_plan_memos(self) -> None:
+        for memo in self._plan_memos.values():
+            memo.clear()
+
+    # -- garbage collection ------------------------------------------------
+    def gc_step(self, roots: Iterable[int]) -> bool:
+        """Safe-point collection trigger for evaluators.
+
+        ``roots`` must enumerate every interpretation edge the caller still
+        needs (current/updated relation values and the fixed inputs); the
+        statically protected plan skeletons are already tracked as external
+        references.  Returns True when a collection actually ran.
+        """
+        self.gc_steps += 1
+        collected = self.manager.maybe_collect(roots)
+        if collected:
+            self.gc_collections += 1
+        return collected
+
+    def clear_caches(self) -> None:
+        """Reset every run-scoped cache and counter across the stack.
+
+        Clears the plan memos and memo counters of this backend, the
+        context's domain-constraint cache, and the manager's operation
+        caches, statistics and GC bookkeeping (via
+        :meth:`SymbolicContext.clear_caches`).  Compiled plans and their
+        protected static skeletons survive — recompilation is never needed.
+        """
+        self._clear_plan_memos()
+        self.plan_memo_hits = 0
+        self.plan_memo_misses = 0
+        self.gc_steps = 0
+        self.gc_collections = 0
+        self.context.clear_caches()
+
+    def close(self) -> None:
+        """Detach this backend from its manager (idempotent).
+
+        Unregisters the GC hook and dereferences every protected static
+        skeleton, making the backend's nodes collectable.  Required only
+        when the manager outlives the backend — i.e. several backends share
+        one :class:`SymbolicContext`; the per-run engines drop manager and
+        backend together and never need it.  A closed backend must not be
+        used for further evaluation.
+        """
+        self.manager.remove_gc_hook(self._clear_plan_memos)
+        for node, count in self._protected.items():
+            for _ in range(count):
+                self.manager.deref(node)
+        self._protected.clear()
+        self._clear_plan_memos()
+        self._plan_memos.clear()
+        self._equation_plans.clear()
+
     def stats_snapshot(self) -> Dict[str, object]:
-        """Hoisting/memo counters of this backend plus the manager's stats."""
+        """Hoisting/memo/GC counters of this backend plus the manager's stats."""
         total = self.plan_memo_hits + self.plan_memo_misses
         return {
             "static_hoists": self.static_hoists,
@@ -497,6 +669,10 @@ class SymbolicBackend:
             "plan_memo_misses": self.plan_memo_misses,
             "plan_memo_hit_rate": (self.plan_memo_hits / total) if total else 0.0,
             "compiled_equations": len(self._equation_plans),
+            "compiled_plans": len(self._plan_memos),
+            "protected_nodes": len(self._protected),
+            "gc_steps": self.gc_steps,
+            "gc_collections": self.gc_collections,
             "manager": self.manager.stats(),
         }
 
@@ -627,11 +803,15 @@ class SymbolicBackend:
         if not rename:
             return node
         targets = list(rename.values())
-        support = mgr.support_names(node)
-        injective = len(set(targets)) == len(targets)
-        clash = (set(targets) & support) - set(rename)
-        if injective and not clash:
-            return mgr.rename(node, rename)
+        if len(set(targets)) == len(targets):
+            # The manager validates the clash condition itself (and its
+            # cross-call cache makes repeated renames O(1) without any
+            # support walk); only genuinely clashing applications fall
+            # through to the general path.
+            try:
+                return mgr.rename(node, rename)
+            except BddError:
+                pass
         # General (and always correct) fall-back: conjoin bit equalities and
         # quantify the canonical parameter bits away.  If some source bit is
         # also a rename target (the relation is applied to a permutation of

@@ -1,0 +1,125 @@
+"""A deliberately simple reference ROBDD with *no* complement edges.
+
+This is the oracle for the randomized differential suite
+(``test_bdd_differential.py``): it mirrors the seed kernel's representation —
+two terminal nodes, plain (level, lo, hi) unique table, recursive negation
+that copies structure — with none of the production manager's complement
+edges, garbage collection or cache machinery.  Keeping it tiny and obviously
+correct is the point; do not optimise it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+_TERMINAL_LEVEL = 1 << 60
+
+
+class ReferenceBdd:
+    """Minimal no-complement ROBDD over named variables."""
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, var_names: List[str]) -> None:
+        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._lo: List[int] = [0, 1]
+        self._hi: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._names = list(var_names)
+        self._index = {name: i for i, name in enumerate(var_names)}
+
+    def _mk(self, level: int, lo: int, hi: int) -> int:
+        if lo == hi:
+            return lo
+        key = (level, lo, hi)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._lo.append(lo)
+            self._hi.append(hi)
+            self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> int:
+        return self._mk(self._index[name], self.FALSE, self.TRUE)
+
+    def not_(self, f: int) -> int:
+        if f <= 1:
+            return 1 - f
+        return self._mk(self._level[f], self.not_(self._lo[f]), self.not_(self._hi[f]))
+
+    def _cofactors(self, f: int, level: int) -> Tuple[int, int]:
+        if self._level[f] == level:
+            return self._lo[f], self._hi[f]
+        return f, f
+
+    def _apply(self, f: int, g: int, op) -> int:
+        if f <= 1 and g <= 1:
+            return op(f, g)
+        level = min(self._level[f], self._level[g])
+        f_lo, f_hi = self._cofactors(f, level)
+        g_lo, g_hi = self._cofactors(g, level)
+        return self._mk(level, self._apply(f_lo, g_lo, op), self._apply(f_hi, g_hi, op))
+
+    def and_(self, f: int, g: int) -> int:
+        if f == 0 or g == 0:
+            return 0
+        if f == 1:
+            return g
+        if g == 1:
+            return f
+        return self._apply(f, g, lambda a, b: a & b)
+
+    def or_(self, f: int, g: int) -> int:
+        if f == 1 or g == 1:
+            return 1
+        if f == 0:
+            return g
+        if g == 0:
+            return f
+        return self._apply(f, g, lambda a, b: a | b)
+
+    def xor(self, f: int, g: int) -> int:
+        return self._apply(f, g, lambda a, b: a ^ b)
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        return self.or_(self.and_(f, g), self.and_(self.not_(f), h))
+
+    def exists(self, f: int, names: List[str]) -> int:
+        result = f
+        for name in names:
+            level = self._index[name]
+            result = self._exists_one(result, level)
+        return result
+
+    def _exists_one(self, f: int, level: int) -> int:
+        if f <= 1 or self._level[f] > level:
+            return f
+        if self._level[f] == level:
+            return self.or_(self._lo[f], self._hi[f])
+        return self._mk(
+            self._level[f],
+            self._exists_one(self._lo[f], level),
+            self._exists_one(self._hi[f], level),
+        )
+
+    def eval(self, f: int, env: Dict[str, bool]) -> bool:
+        node = f
+        while node > 1:
+            level = self._level[node]
+            node = self._hi[node] if env[self._names[level]] else self._lo[node]
+        return node == self.TRUE
+
+    def node_count(self, f: int) -> int:
+        seen: set = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        return len(seen)

@@ -1,0 +1,336 @@
+"""Garbage-collection liveness tests for the BDD manager.
+
+Covers the GC contract end to end: protected roots survive collection with
+their semantics intact, dropped functions are reclaimed and their slots
+reused, operation caches can never resurrect dead nodes, the growth triggers
+fire and adapt, the :class:`Function` wrapper tracks external references
+through its lifecycle, and the symbolic backend's plan memos are invalidated
+by sweeps.
+"""
+
+import gc as pygc
+import itertools
+
+import pytest
+
+from repro.bdd import BddFunction, BddManager, Function
+
+VAR_NAMES = ["a", "b", "c", "d"]
+
+
+def all_envs():
+    for values in itertools.product([False, True], repeat=len(VAR_NAMES)):
+        yield dict(zip(VAR_NAMES, values))
+
+
+def build_junk(mgr, rounds=20):
+    """Allocate nodes that nothing protects."""
+    for i in range(rounds):
+        node = mgr.cube({name: bool((i >> k) & 1) for k, name in enumerate(VAR_NAMES)})
+        mgr.or_(node, mgr.var("a"))
+        mgr.xor(node, mgr.var("b"))
+
+
+class TestMarkAndSweep:
+    def test_protected_roots_survive_collection(self):
+        mgr = BddManager(VAR_NAMES)
+        f = mgr.ref(mgr.ite(mgr.var("a"), mgr.xor(mgr.var("b"), mgr.var("c")), mgr.var("d")))
+        truth = {tuple(env.values()): mgr.eval(f, env) for env in all_envs()}
+        build_junk(mgr)
+        reclaimed = mgr.collect_garbage()
+        assert reclaimed > 0
+        for env in all_envs():
+            assert mgr.eval(f, env) == truth[tuple(env.values())]
+
+    def test_extra_roots_survive_collection(self):
+        mgr = BddManager(VAR_NAMES)
+        f = mgr.and_(mgr.var("a"), mgr.not_(mgr.var("b")))
+        build_junk(mgr)
+        mgr.collect_garbage(roots=[f])
+        # f's nodes are intact: rebuilding yields the identical edge.
+        assert mgr.and_(mgr.var("a"), mgr.not_(mgr.var("b"))) == f
+        assert mgr.eval(f, {"a": True, "b": False, "c": False, "d": False})
+
+    def test_unreferenced_nodes_are_reclaimed_and_slots_reused(self):
+        mgr = BddManager(VAR_NAMES)
+        build_junk(mgr)
+        live_before = len(mgr)
+        reclaimed = mgr.collect_garbage()
+        assert reclaimed > 0
+        assert len(mgr) == live_before - reclaimed
+        stats = mgr.stats()
+        assert stats["gc"]["free_slots"] == reclaimed
+        # New allocations reuse freed slots instead of growing the table.
+        capacity = stats["capacity"]
+        node = mgr.and_(mgr.var("a"), mgr.var("b"))
+        assert mgr.stats()["capacity"] == capacity
+        assert mgr.eval(node, {"a": True, "b": True})
+
+    def test_op_caches_never_resurrect_dead_nodes(self):
+        mgr = BddManager(VAR_NAMES)
+        f = mgr.and_(mgr.var("a"), mgr.var("b"))
+        g = mgr.xor(f, mgr.var("c"))
+        assert mgr._and_cache and mgr._xor_cache
+        mgr.collect_garbage()
+        # Everything was garbage: the caches must be empty, not serving
+        # entries that point into reclaimed slots.
+        assert not mgr._and_cache
+        assert not mgr._xor_cache
+        rebuilt = mgr.xor(mgr.and_(mgr.var("a"), mgr.var("b")), mgr.var("c"))
+        for env in all_envs():
+            expected = (env["a"] and env["b"]) != env["c"]
+            assert mgr.eval(rebuilt, env) == expected
+
+    def test_variable_projections_can_be_rebuilt_after_collection(self):
+        mgr = BddManager(VAR_NAMES)
+        mgr.var("a")
+        mgr.collect_garbage()
+        rebuilt = mgr.var("a")
+        assert mgr.eval(rebuilt, {"a": True})
+        assert not mgr.eval(rebuilt, {"a": False})
+        assert mgr.support_names(rebuilt) == {"a"}
+
+    def test_gc_hooks_run_on_reclaiming_sweeps(self):
+        mgr = BddManager(VAR_NAMES)
+        calls = []
+        mgr.add_gc_hook(lambda: calls.append(1))
+        mgr.collect_garbage()  # nothing to reclaim: hook not needed
+        assert calls == []
+        build_junk(mgr)
+        mgr.collect_garbage()
+        assert calls == [1]
+
+
+class TestTriggers:
+    def test_maybe_collect_fires_above_threshold(self):
+        mgr = BddManager(VAR_NAMES, gc_threshold=8)
+        build_junk(mgr)
+        assert len(mgr) >= 8
+        assert mgr.maybe_collect() is True
+        assert mgr.stats()["gc"]["collections"] == 1
+        assert len(mgr) < 8
+
+    def test_maybe_collect_respects_disabled_gc(self):
+        mgr = BddManager(VAR_NAMES, gc_threshold=8, gc_enabled=False)
+        build_junk(mgr)
+        assert mgr.maybe_collect() is False
+        assert mgr.stats()["gc"]["collections"] == 0
+
+    def test_threshold_grows_with_the_live_set(self):
+        mgr = BddManager(VAR_NAMES, gc_threshold=4, gc_growth=2.0)
+        roots = [mgr.ref(mgr.cube({"a": True, "b": bool(i & 1), "c": bool(i & 2)}))
+                 for i in range(4)]
+        build_junk(mgr)
+        mgr.maybe_collect()
+        stats = mgr.stats()
+        assert stats["gc"]["threshold"] >= 4
+        assert all(mgr.eval(r, {"a": True, "b": False, "c": False, "d": False}) in (True, False)
+                   for r in roots)
+
+    def test_cache_limit_drops_oversized_caches(self):
+        mgr = BddManager(VAR_NAMES, gc_threshold=10_000, cache_limit=2)
+        mgr.and_(mgr.var("a"), mgr.var("b"))
+        mgr.and_(mgr.var("c"), mgr.var("d"))
+        mgr.xor(mgr.var("a"), mgr.var("c"))
+        assert mgr._cache_entries() > 2
+        mgr.maybe_collect()
+        assert mgr._cache_entries() == 0
+
+
+class TestFunctionReferences:
+    def test_function_refs_and_derefs(self):
+        mgr = BddManager(VAR_NAMES)
+        f = Function.var(mgr, "a") & Function.var(mgr, "b")
+        assert mgr.external_references() > 0
+        node = f.node
+        truth = f.evaluate({"a": True, "b": True})
+        build_junk(mgr)
+        mgr.collect_garbage()
+        # The wrapper's nodes survived.
+        assert mgr.eval(node, {"a": True, "b": True}) == truth
+
+    def test_dropped_functions_are_reclaimed(self):
+        mgr = BddManager(VAR_NAMES)
+        f = Function.var(mgr, "a") ^ Function.var(mgr, "b")
+        g = f & Function.var(mgr, "c")
+        del f, g
+        pygc.collect()
+        assert mgr.external_references() == 0
+        live_before = len(mgr)
+        reclaimed = mgr.collect_garbage()
+        assert reclaimed > 0
+        assert len(mgr) < live_before
+
+    def test_release_is_idempotent(self):
+        mgr = BddManager(VAR_NAMES)
+        f = Function.var(mgr, "a")
+        f.release()
+        f.release()
+        assert mgr.external_references() == 0
+
+    def test_context_manager_releases(self):
+        mgr = BddManager(VAR_NAMES)
+        with Function.var(mgr, "a") & Function.var(mgr, "b") as f:
+            assert mgr.external_references() > 0
+            node = f.node
+        pygc.collect()
+        assert mgr.external_references() == 0
+        assert mgr.collect_garbage() > 0
+        assert node  # the edge value itself is just an int
+
+    def test_bddfunction_alias(self):
+        assert BddFunction is Function
+
+
+class TestClearCachesLifecycle:
+    def test_clear_caches_resets_stats_and_gc_bookkeeping(self):
+        mgr = BddManager(VAR_NAMES, gc_threshold=8)
+        build_junk(mgr)
+        mgr.maybe_collect()
+        stats = mgr.stats()
+        assert stats["gc"]["collections"] == 1
+        assert stats["ops"]["and"]["misses"] > 0
+        mgr.clear_caches()
+        stats = mgr.stats()
+        assert stats["gc"]["collections"] == 0
+        assert stats["gc"]["reclaimed"] == 0
+        assert all(op["hits"] == 0 and op["misses"] == 0 for op in stats["ops"].values())
+        assert stats["peak_nodes"] == stats["nodes"]
+        assert all(size == 0 for size in stats["cache_sizes"].values())
+
+    def test_clear_caches_keeps_external_references(self):
+        mgr = BddManager(VAR_NAMES)
+        f = mgr.ref(mgr.and_(mgr.var("a"), mgr.var("b")))
+        mgr.clear_caches()
+        assert mgr.external_references() == 1
+        build_junk(mgr)
+        mgr.collect_garbage()
+        assert mgr.eval(f, {"a": True, "b": True})
+
+
+class TestSymbolicBackendGc:
+    def _system(self):
+        from repro.fixedpoint import (
+            And,
+            EnumSort,
+            Equation,
+            EquationSystem,
+            Exists,
+            Or,
+            RelationDecl,
+            Var,
+        )
+
+        node_sort = EnumSort("N", 4)
+        Reach = RelationDecl("Reach", [("u", node_sort)])
+        Init = RelationDecl("Init", [("u", node_sort)])
+        Trans = RelationDecl("Trans", [("u", node_sort), ("v", node_sort)])
+        u = Var("u", node_sort)
+        x = Var("x", node_sort)
+        body = Or(Init(u), Exists(x, And(Reach(x), Trans(x, u))))
+        system = EquationSystem([Equation(Reach, body)], inputs=[Init, Trans])
+        return system, Reach, Init, Trans, u
+
+    def test_gc_sweep_clears_plan_memos_not_static_skeletons(self):
+        from repro.fixedpoint import SymbolicBackend, Var
+
+        system, Reach, Init, Trans, u = self._system()
+        backend = SymbolicBackend(system)
+        mgr = backend.manager
+        plan = backend.compile_formula(system.equation("Reach").body)
+        init = mgr.ref(backend.context.encode_cube(u, 0))
+        trans = mgr.ref(mgr.FALSE)
+        interps = {"Init": init, "Trans": trans, "Reach": mgr.FALSE}
+        first = plan.eval(backend, interps)
+        assert plan.memo
+        build_junk_vars = [mgr.var(name) for name in mgr.var_names[:2]]
+        mgr.xor(build_junk_vars[0], build_junk_vars[1])
+        mgr.collect_garbage(roots=[first, init, trans])
+        # The sweep invalidated the interpretation-keyed memos...
+        assert not plan.memo
+        # ...but protected static skeletons survive and evaluation re-derives
+        # the same result.
+        assert plan.eval(backend, interps) == first
+
+    def test_rebuilt_equations_release_superseded_plans(self):
+        from repro.fixedpoint import Equation, SymbolicBackend
+
+        system, Reach, Init, Trans, u = self._system()
+        backend = SymbolicBackend(system)
+        mgr = backend.manager
+        equation = system.equation("Reach")
+        init = mgr.ref(backend.context.encode_cube(u, 0))
+        interps = {"Init": init, "Trans": mgr.FALSE, "Reach": mgr.FALSE}
+        backend.eval_equation(equation, interps)
+        memos_after_first = len(backend._plan_memos)
+        protected_after_first = len(backend._protected)
+        # A caller that rebuilds the Equation object every round must not
+        # accumulate plan memos or protected skeletons.
+        for _ in range(5):
+            rebuilt = Equation(equation.decl, equation.body)
+            assert backend.eval_equation(rebuilt, interps) == init
+        assert len(backend._plan_memos) == memos_after_first
+        assert len(backend._protected) == protected_after_first
+
+    def test_missing_interpretation_raises_named_error(self):
+        import pytest
+
+        from repro.fixedpoint import SymbolicBackend
+
+        system, Reach, Init, Trans, u = self._system()
+        backend = SymbolicBackend(system)
+        with pytest.raises(KeyError, match="no interpretation provided for relation 'Init'"):
+            backend.eval_equation(system.equation("Reach"), {"Trans": 0, "Reach": 0})
+
+    def test_backend_close_detaches_from_shared_manager(self):
+        from repro.fixedpoint import SymbolicBackend
+
+        system, Reach, Init, Trans, u = self._system()
+        keeper = SymbolicBackend(system)
+        context = keeper.context
+        mgr = keeper.manager
+        keeper.compile_formula(system.equation("Reach").body)
+        hooks_before = len(mgr._gc_hooks)
+        roots_before = mgr.external_references()
+        # A second, short-lived backend over the same long-lived context.
+        transient = SymbolicBackend(system, context=context)
+        transient.compile_formula(system.equation("Reach").body)
+        assert len(mgr._gc_hooks) == hooks_before + 1
+        transient.close()
+        transient.close()  # idempotent
+        assert len(mgr._gc_hooks) == hooks_before
+        assert mgr.external_references() == roots_before
+        # The surviving backend still evaluates after a sweep.
+        init = mgr.ref(keeper.context.encode_cube(u, 0))
+        mgr.collect_garbage(roots=[init])
+        plan = keeper.compile_formula(system.equation("Reach").body)
+        interps = {"Init": init, "Trans": mgr.FALSE, "Reach": mgr.FALSE}
+        assert plan.eval(keeper, interps) == init
+
+    def test_nested_evaluation_with_aggressive_gc_is_correct(self):
+        from repro.fixedpoint import SymbolicBackend, evaluate_nested, Var
+
+        system, Reach, Init, Trans, u = self._system()
+        # Tiny threshold: collections fire at nearly every safe point.
+        backend = SymbolicBackend(system)
+        backend.manager._gc_floor = backend.manager._gc_threshold = 1
+        mgr = backend.manager
+        v = Var("v", Trans.params[1][1])
+        init = mgr.ref(backend.context.encode_cube(u, 0))
+        trans = mgr.ref(
+            mgr.disjoin(
+                mgr.and_(
+                    backend.context.encode_cube(u, a),
+                    backend.context.encode_cube(v, b),
+                )
+                for a, b in ((0, 1), (1, 2), (2, 3))
+            )
+        )
+        result = evaluate_nested(
+            system, "Reach", backend, {"Init": init, "Trans": trans}
+        )
+        reached = set(backend.models(result.value, Reach))
+        assert reached == {(0,), (1,), (2,), (3,)}
+        stats = result.backend_stats
+        assert stats["gc_steps"] > 0
+        assert stats["manager"]["gc"]["collections"] > 0

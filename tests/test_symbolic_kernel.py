@@ -236,6 +236,36 @@ class TestExplicitStackApply:
         node = mgr.conjoin(mgr.var(name) for name in names)
         assert mgr.count_sat(node, names) == 1
 
+    def test_explicit_stack_survives_deep_ite(self):
+        # A genuinely 3-operand ite spanning ~1500 levels (no 2-operand
+        # delegation applies); the recursive path would blow the stack.
+        n = 1500
+        names = [f"v{i}" for i in range(n)]
+        mgr = BddManager(names, explicit_stack=True)
+        evens = mgr.conjoin(mgr.var(f"v{i}") for i in range(0, n, 2))
+        odds = mgr.conjoin(mgr.var(f"v{i}") for i in range(1, n, 2))
+        node = mgr.ite(mgr.var(f"v{n - 1}"), evens, odds)
+        env = {f"v{i}": True for i in range(n)}
+        assert mgr.eval(node, env)
+        env[f"v{n - 1}"] = False
+        assert not mgr.eval(node, env)
+
+    def test_explicit_stack_survives_deep_quantify_and_rename(self):
+        # Quantification and both rename paths over a deep order; the
+        # order-reversing mapping exercises the ite rebuild fall-back.
+        n = 600
+        names = [f"a{i}" for i in range(n)] + [f"b{i}" for i in range(n)]
+        mgr = BddManager(names, explicit_stack=True)
+        node = mgr.conjoin(mgr.var(f"a{i}") for i in range(n))
+        assert mgr.exists(node, [f"a{i}" for i in range(0, n, 2)]) == mgr.conjoin(
+            mgr.var(f"a{i}") for i in range(1, n, 2)
+        )
+        assert mgr.forall(node, [f"a{0}"]) == mgr.FALSE
+        shifted = mgr.rename(node, {f"a{i}": f"b{i}" for i in range(n)})
+        assert mgr.count_sat(shifted, [f"b{i}" for i in range(n)]) == 1
+        reversed_ = mgr.rename(node, {f"a{i}": f"b{n - 1 - i}" for i in range(n)})
+        assert mgr.count_sat(reversed_, [f"b{i}" for i in range(n)]) == 1
+
 
 NODE = EnumSort("Node", 6)
 
@@ -323,6 +353,40 @@ class TestCacheClearing:
         # Results stay valid: the node table is untouched.
         assert backend.context.domain_constraint(u) == constraint
 
+    def test_backend_clear_caches_resets_counters_consistently(self):
+        # clear_caches must reset plan-memo counters, manager op stats and GC
+        # bookkeeping together, so stats_snapshot() does not leak across runs.
+        system, Reach, Init, Trans, body = _reachability_system()
+        backend = SymbolicBackend(system)
+        u = Var("u", NODE)
+        mgr = backend.manager
+        init = mgr.disjoin(backend.context.encode_cube(u, n) for n in (0,))
+        v = Var("v", NODE)
+        trans = mgr.disjoin(
+            mgr.and_(
+                backend.context.encode_cube(u, a), backend.context.encode_cube(v, b)
+            )
+            for a, b in ((0, 1), (1, 2))
+        )
+        evaluate_nested(system, "Reach", backend, {"Init": init, "Trans": trans})
+        assert backend.plan_memo_hits + backend.plan_memo_misses > 0
+        backend.clear_caches()
+        snap = backend.stats_snapshot()
+        assert snap["plan_memo_hits"] == 0
+        assert snap["plan_memo_misses"] == 0
+        assert snap["gc_steps"] == 0
+        manager_stats = snap["manager"]
+        assert all(
+            op["hits"] == 0 and op["misses"] == 0
+            for op in manager_stats["ops"].values()
+        )
+        assert manager_stats["peak_nodes"] == manager_stats["nodes"]
+        assert manager_stats["gc"]["collections"] == 0
+        assert all(size == 0 for size in manager_stats["cache_sizes"].values())
+        # Compiled plans (and their protected skeletons) survive the clear.
+        assert snap["compiled_equations"] == 1
+        assert snap["protected_nodes"] > 0
+
     def test_engine_threads_stats_into_result(self):
         from repro.algorithms import run_sequential
         from repro.boolprog import parse_program
@@ -344,3 +408,6 @@ class TestCacheClearing:
         assert result.stats["static_hoists"] > 0
         assert result.cache_hit_rate("and") is not None
         assert result.stats["manager"]["peak_nodes"] > 2
+        assert result.gc_stats() is not None
+        assert result.live_nodes() is not None and result.live_nodes() > 2
+        assert result.details["bdd_live_nodes"] == result.live_nodes()
