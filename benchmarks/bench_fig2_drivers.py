@@ -10,12 +10,15 @@ with positive (lock-discipline bug planted) and negative variants.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 import pytest
 
-from repro.algorithms import run_sequential
+from repro.algorithms import run_batch, run_sequential
 from repro.baselines import run_bebop, run_moped
 from repro.benchgen import DriverSpec, make_driver
 from repro.frontends import resolve_target
+from repro.parallel import BatchQuery
 
 from conftest import measure
 
@@ -51,3 +54,36 @@ def test_driver(benchmark, engine, handlers, positive):
     benchmark.extra_info["procedures"] = len(program.procedures)
     benchmark.extra_info["globals"] = len(program.globals)
     benchmark.extra_info["summary_nodes"] = result.summary_nodes
+
+
+def batch_queries(sizes: Sequence[int] = SIZES, algorithm: str = "ef-opt") -> List[BatchQuery]:
+    """The driver sweep as picklable shard queries (both polarities)."""
+    queries: List[BatchQuery] = []
+    for positive in (True, False):
+        for handlers in sizes:
+            spec = DriverSpec(
+                name=f"driver-{handlers}-{'pos' if positive else 'neg'}",
+                handlers=handlers,
+                flags=min(4, handlers),
+                helpers=max(1, handlers // 2),
+                positive=positive,
+            )
+            queries.append(
+                BatchQuery(
+                    name=spec.name,
+                    program=make_driver(spec),
+                    target=spec.target,
+                    algorithm=algorithm,
+                    expected=positive,
+                )
+            )
+    return queries
+
+
+@pytest.mark.parametrize("jobs", [1, 4], ids=["jobs1", "jobs4"])
+def test_driver_sharded(benchmark, jobs):
+    """Parallel mode: the driver sweep fanned out over per-shard managers."""
+    report = measure(benchmark, run_batch, batch_queries(), jobs=jobs)
+    assert not report.failures() and not report.mismatches()
+    benchmark.extra_info["mode"] = report.mode
+    benchmark.extra_info["speedup"] = round(report.speedup, 2)

@@ -10,12 +10,15 @@ EXPERIMENTS.md compares the resulting rows with the paper's.
 
 from __future__ import annotations
 
+from typing import List
+
 import pytest
 
-from repro.algorithms import run_sequential
+from repro.algorithms import run_batch, run_sequential
 from repro.baselines import run_bebop, run_moped
 from repro.benchgen import regression_suite
 from repro.frontends import resolve_target
+from repro.parallel import BatchQuery
 
 from conftest import measure
 
@@ -55,3 +58,29 @@ def test_regression_suite(benchmark, engine, positive):
     results = measure(benchmark, run_suite)
     benchmark.extra_info["programs"] = len(suite)
     benchmark.extra_info["max_summary_nodes"] = max(r.summary_nodes for r in results)
+
+
+def batch_queries(algorithm: str = "ef-opt") -> List[BatchQuery]:
+    """The full regression sweep as picklable shard queries (both polarities)."""
+    return [
+        BatchQuery(
+            name=case.name,
+            program=case.program,
+            target=case.target,
+            algorithm=algorithm,
+            expected=case.expected,
+        )
+        for positive in (True, False)
+        for case in regression_suite(positive)
+    ]
+
+
+@pytest.mark.parametrize("jobs", [1, 4], ids=["jobs1", "jobs4"])
+def test_regression_suite_sharded(benchmark, jobs):
+    """Parallel mode: the sweep fanned out over per-shard BDD managers."""
+    queries = batch_queries()
+    report = measure(benchmark, run_batch, queries, jobs=jobs)
+    assert not report.failures() and not report.mismatches()
+    benchmark.extra_info["mode"] = report.mode
+    benchmark.extra_info["speedup"] = round(report.speedup, 2)
+    benchmark.extra_info["worker_pids"] = len(report.worker_pids())

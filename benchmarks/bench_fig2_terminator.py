@@ -10,12 +10,15 @@ the ``dead`` statement (``iterative`` and ``schoose``).
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 import pytest
 
-from repro.algorithms import run_sequential
+from repro.algorithms import run_batch, run_sequential
 from repro.baselines import run_bebop, run_moped
 from repro.benchgen import TerminatorSpec, make_terminator
 from repro.frontends import resolve_target
+from repro.parallel import BatchQuery
 
 from conftest import measure
 
@@ -48,3 +51,38 @@ def test_terminator(benchmark, engine, variant, bits, positive):
     assert result.reachable == positive
     benchmark.extra_info["globals"] = len(program.globals)
     benchmark.extra_info["summary_nodes"] = result.summary_nodes
+
+
+def batch_queries(
+    counter_bits: Sequence[int] = (2, 3), algorithm: str = "ef-opt"
+) -> List[BatchQuery]:
+    """The terminator sweep as picklable shard queries (both encodings)."""
+    queries: List[BatchQuery] = []
+    for positive in (True, False):
+        for bits in counter_bits:
+            for variant in ("iterative", "schoose"):
+                spec = TerminatorSpec(
+                    name=f"terminator-{variant}-{bits}b-{'pos' if positive else 'neg'}",
+                    counter_bits=bits,
+                    variant=variant,
+                    positive=positive,
+                )
+                queries.append(
+                    BatchQuery(
+                        name=spec.name,
+                        program=make_terminator(spec),
+                        target=spec.target,
+                        algorithm=algorithm,
+                        expected=positive,
+                    )
+                )
+    return queries
+
+
+@pytest.mark.parametrize("jobs", [1, 4], ids=["jobs1", "jobs4"])
+def test_terminator_sharded(benchmark, jobs):
+    """Parallel mode: the terminator sweep fanned out over per-shard managers."""
+    report = measure(benchmark, run_batch, batch_queries(), jobs=jobs)
+    assert not report.failures() and not report.mismatches()
+    benchmark.extra_info["mode"] = report.mode
+    benchmark.extra_info["speedup"] = round(report.speedup, 2)

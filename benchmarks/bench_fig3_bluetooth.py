@@ -17,12 +17,15 @@ reproduce the figure:
 
 from __future__ import annotations
 
+from typing import List, Sequence, Tuple
+
 import pytest
 
-from repro.algorithms import run_concurrent
+from repro.algorithms import run_batch, run_concurrent
 from repro.baselines import run_concurrent_explicit
 from repro.benchgen import make_bluetooth
 from repro.encode.concurrent import ConcurrentEncoder
+from repro.parallel import BatchQuery
 
 from conftest import measure
 
@@ -81,3 +84,29 @@ def test_bluetooth_explicit(benchmark, name, adders, stoppers, bug_at, switches)
     benchmark.extra_info["configuration"] = name
     benchmark.extra_info["context_switches"] = switches
     benchmark.extra_info["explored_configurations"] = result.details["configurations"]
+
+
+def batch_queries(
+    cases: Sequence[Tuple[str, int, int, int, bool]] = SYMBOLIC_CASES,
+) -> List[BatchQuery]:
+    """The symbolic Bluetooth sweep as picklable shard queries."""
+    return [
+        BatchQuery(
+            name=f"{name}-k{switches}",
+            program=make_bluetooth(adders, stoppers),
+            target="error",
+            concurrent=True,
+            context_switches=switches,
+            expected=expected,
+        )
+        for name, adders, stoppers, switches, expected in cases
+    ]
+
+
+@pytest.mark.parametrize("jobs", [1, 4], ids=["jobs1", "jobs4"])
+def test_bluetooth_sharded(benchmark, jobs):
+    """Parallel mode: the symbolic sweep fanned out over per-shard managers."""
+    report = measure(benchmark, run_batch, batch_queries(), jobs=jobs)
+    assert not report.failures() and not report.mismatches()
+    benchmark.extra_info["mode"] = report.mode
+    benchmark.extra_info["speedup"] = round(report.speedup, 2)

@@ -9,9 +9,12 @@ EXPERIMENTS.md.
 Usage::
 
     python benchmarks/report.py figure2            # sequential suites
+    python benchmarks/report.py figure2-parallel   # sharded sweep + speedup
     python benchmarks/report.py figure3            # Bluetooth, explicit engine
     python benchmarks/report.py figure3-symbolic   # Bluetooth, fixed-point engine
+    python benchmarks/report.py figure3-parallel   # Bluetooth, sharded symbolic
     python benchmarks/report.py kernel             # BDD kernel micro-benchmarks
+    python benchmarks/report.py parallel-smoke     # CI: pool pickling smoke
     python benchmarks/report.py all
 """
 
@@ -22,7 +25,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Sequence, Tuple
 
-from repro.algorithms import run_concurrent, run_sequential
+from repro.algorithms import run_batch, run_concurrent, run_sequential
 from repro.baselines import run_bebop, run_concurrent_explicit, run_moped
 from repro.benchgen import (
     DriverSpec,
@@ -133,6 +136,87 @@ def figure2(sizes: Sequence[int] = (2, 3), counter_bits: Sequence[int] = (2, 3))
                 )
 
 
+def _figure2_queries():
+    """The Figure 2 EFopt sweep as shard queries, from the benchmark drivers."""
+    from bench_fig2_drivers import batch_queries as driver_queries
+    from bench_fig2_regression import batch_queries as regression_queries
+    from bench_fig2_terminator import batch_queries as terminator_queries
+
+    return regression_queries() + driver_queries() + terminator_queries()
+
+
+def _parallel_table(queries, jobs: int, title: str) -> None:
+    """Run a batch sequentially and sharded; print the table and speedup.
+
+    Verdicts must be identical per row between the two runs — per-shard
+    managers share nothing, so any disagreement is a bug, not noise.
+    """
+    print(title)
+    sequential = run_batch(queries, jobs=1)
+    parallel = run_batch(queries, jobs=jobs)
+    for seq_shard, par_shard in zip(sequential.shards, parallel.shards):
+        assert seq_shard.ok and par_shard.ok, (
+            f"{par_shard.name}: {seq_shard.error or par_shard.error}"
+        )
+        assert seq_shard.result.reachable == par_shard.result.reachable, (
+            f"{par_shard.name}: sequential and sharded verdicts disagree"
+        )
+    mismatches = parallel.mismatches()
+    assert not mismatches, f"verdict mismatches: {[s.name for s in mismatches]}"
+    print(parallel.format_table())
+    print(
+        f"sequential wall={sequential.wall_seconds:.2f}s  "
+        f"parallel wall={parallel.wall_seconds:.2f}s  "
+        f"speedup={sequential.wall_seconds / max(parallel.wall_seconds, 1e-9):.2f}x "
+        f"(jobs={jobs}, mode={parallel.mode})"
+    )
+
+
+def figure2_parallel(jobs: int = 4) -> None:
+    """The Figure 2 sweep, sharded over per-query BDD managers."""
+    _parallel_table(
+        _figure2_queries(),
+        jobs,
+        f"== Figure 2 (sharded): EFopt sweep over {jobs} worker processes ==",
+    )
+
+
+def figure3_parallel(jobs: int = 4) -> None:
+    """The symbolic Bluetooth sweep, sharded over per-query BDD managers."""
+    from bench_fig3_bluetooth import batch_queries as bluetooth_queries
+
+    _parallel_table(
+        bluetooth_queries(),
+        jobs,
+        f"== Figure 3 (sharded): symbolic Bluetooth sweep over {jobs} worker processes ==",
+    )
+
+
+def parallel_smoke() -> None:
+    """CI smoke: a jobs=2 pool over two small regression programs.
+
+    Exercises process-pool pickling of programs, targets and results on
+    every push; fails loudly if the pool silently degraded to the
+    sequential fallback.
+    """
+    from repro.parallel import BatchQuery
+
+    cases = regression_suite(True)[:1] + regression_suite(False)[:1]
+    queries = [
+        BatchQuery(
+            name=case.name, program=case.program, target=case.target, expected=case.expected
+        )
+        for case in cases
+    ]
+    report = run_batch(queries, jobs=2)
+    assert report.mode == "process-pool", f"expected a process pool, ran {report.mode}"
+    assert not report.failures(), [s.error for s in report.failures()]
+    assert not report.mismatches(), [s.name for s in report.mismatches()]
+    assert len(report.worker_pids()) >= 1
+    print(report.format_table())
+    print("parallel smoke OK: pool pickling of programs/targets/results works")
+
+
 def figure3(max_switches: int = 6) -> None:
     """The Bluetooth table of Figure 3, using the explicit engine (all bounds)."""
     print("== Figure 3: Bluetooth driver, explicit engine ==")
@@ -195,10 +279,22 @@ def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "what",
-        choices=["figure2", "figure3", "figure3-symbolic", "kernel", "all"],
+        choices=[
+            "figure2",
+            "figure2-parallel",
+            "figure3",
+            "figure3-symbolic",
+            "figure3-parallel",
+            "kernel",
+            "parallel-smoke",
+            "all",
+        ],
         help="which table to regenerate",
     )
     parser.add_argument("--max-switches", type=int, default=6)
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="worker processes for the parallel tables"
+    )
     parser.add_argument(
         "--kernel-bits", type=int, default=14, help="counter width for the kernel table"
     )
@@ -206,14 +302,22 @@ def main(argv: List[str] | None = None) -> int:
     if args.what in ("figure2", "all"):
         figure2()
         print()
+    if args.what in ("figure2-parallel", "all"):
+        figure2_parallel(jobs=args.jobs)
+        print()
     if args.what in ("figure3", "all"):
         figure3(max_switches=args.max_switches)
         print()
     if args.what in ("figure3-symbolic", "all"):
         figure3_symbolic(max_switches=min(args.max_switches, 3))
         print()
+    if args.what in ("figure3-parallel", "all"):
+        figure3_parallel(jobs=args.jobs)
+        print()
     if args.what in ("kernel", "all"):
         kernel(bits=args.kernel_bits)
+    if args.what == "parallel-smoke":
+        parallel_smoke()
     return 0
 
 

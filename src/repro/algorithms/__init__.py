@@ -2,13 +2,14 @@
 
 from .common import AlgorithmSpec
 from .result import ReachabilityResult
-from .engine import SEQUENTIAL_ALGORITHMS, run_sequential
+from .engine import SEQUENTIAL_ALGORITHMS, run_batch, run_sequential
 from .concurrent_cbr import run_concurrent, build_cbr_system
 
 __all__ = [
     "AlgorithmSpec",
     "ReachabilityResult",
     "SEQUENTIAL_ALGORITHMS",
+    "run_batch",
     "run_sequential",
     "run_concurrent",
     "build_cbr_system",

@@ -12,7 +12,7 @@ of MUCKE.
 from __future__ import annotations
 
 import time
-from typing import Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple, Union
 
 from ..boolprog import Program, build_cfg, check_program
 from ..fixedpoint import evaluate_nested, evaluate_simultaneous
@@ -22,7 +22,7 @@ from . import entry_forward, entry_forward_opt, summary_basic
 from .common import AlgorithmSpec, compile_query, finish_symbolic_run
 from .result import ReachabilityResult
 
-__all__ = ["SEQUENTIAL_ALGORITHMS", "run_sequential"]
+__all__ = ["SEQUENTIAL_ALGORITHMS", "run_sequential", "run_batch"]
 
 #: Registry of the sequential algorithm builders by name.
 SEQUENTIAL_ALGORITHMS = {
@@ -106,4 +106,38 @@ def run_sequential(
             "evaluation_mode": spec.evaluation,
         },
         stats=stats,
+    )
+
+
+def run_batch(
+    queries: Sequence[Union["BatchQuery", Mapping[str, object]]],
+    jobs: int = 1,
+    start_method: Optional[str] = None,
+) -> "BatchReport":
+    """Run a batch of reachability queries, sharded over worker processes.
+
+    Each query is a :class:`repro.parallel.BatchQuery` (a mapping with the
+    same fields is coerced).  Every shard builds its own
+    ``BddManager``/``SymbolicBackend`` stack — the signed-edge kernel and
+    its GC safe-point protocol are manager-local, so shards share nothing —
+    and the merged :class:`repro.parallel.BatchReport` carries per-shard
+    kernel/GC statistics alongside the verdicts.
+
+    ``jobs <= 1`` (or a batch that cannot be pickled, or a platform without
+    working process pools) runs the same queries sequentially in-process
+    with identical results; see :func:`repro.parallel.run_shards`.
+    """
+    # Imported lazily: repro.parallel pulls in the front end, which imports
+    # this package — a module-level import would be circular.
+    from ..parallel import BatchQuery, merge_shards, run_shards
+
+    coerced = [
+        query if isinstance(query, BatchQuery) else BatchQuery(**dict(query))
+        for query in queries
+    ]
+    started = time.perf_counter()
+    shards, mode, fallback_reason = run_shards(coerced, jobs=jobs, start_method=start_method)
+    wall = time.perf_counter() - started
+    return merge_shards(
+        shards, jobs=jobs, mode=mode, wall_seconds=wall, fallback_reason=fallback_reason
     )

@@ -1212,19 +1212,23 @@ class BddManager:
                 return 0
             if edge == self.TRUE:
                 return 1 << (total_levels - from_pos)
-            if edge & 1:
-                # Complemented edge: count the complement space.
-                return (1 << (total_levels - from_pos)) - count_below(edge ^ 1, from_pos)
+            # The memo is keyed on the *signed* edge: a complemented arrival
+            # must hit the cache too, or every visit to a signed edge redoes
+            # the complement-space subtraction walk.
             key = (edge, from_pos)
             cached = below_cache.get(key)
             if cached is not None:
                 return cached
-            index = edge >> 1
-            level = self._level[index]
-            pos = position[level]
-            gap = pos - from_pos
-            sub = count_below(self._lo[index], pos + 1) + count_below(self._hi[index], pos + 1)
-            result = sub << gap
+            if edge & 1:
+                # Complemented edge: count the complement space.
+                result = (1 << (total_levels - from_pos)) - count_below(edge ^ 1, from_pos)
+            else:
+                index = edge >> 1
+                level = self._level[index]
+                pos = position[level]
+                gap = pos - from_pos
+                sub = count_below(self._lo[index], pos + 1) + count_below(self._hi[index], pos + 1)
+                result = sub << gap
             below_cache[key] = result
             return result
 

@@ -107,11 +107,12 @@ class _Plan:
     equal interpretations).
     """
 
-    __slots__ = ("rel_names", "memo")
+    __slots__ = ("rel_names", "memo", "released")
 
     def __init__(self, rel_names: Tuple[str, ...]) -> None:
         self.rel_names = rel_names
         self.memo: Dict[Tuple[int, ...], int] = {}
+        self.released = False
 
     def eval(self, backend: "SymbolicBackend", interps: Mapping[str, int]) -> int:
         try:
@@ -592,17 +593,31 @@ class SymbolicBackend:
         return node
 
     def _release_plan(self, plan: _Plan) -> None:
-        """Undo registration/protection for a superseded plan tree."""
+        """Undo registration/protection for a superseded plan tree.
+
+        Releasing is guarded twice: each plan node releases at most once
+        (``released`` flag), and each deref is conditional on the tracked
+        protection count.  Without the guards, releasing a tree twice — or
+        after :meth:`close` already dropped the bookkeeping — would deref a
+        protection that by then belongs to another owner (a sibling plan
+        baking in the same static edge, or the context's domain-constraint
+        cache), letting a sweep reclaim an edge that owner still hands out.
+        """
         stack = [plan]
         while stack:
             node = stack.pop()
             stack.extend(node.child_plans())
+            if node.released:
+                continue
+            node.released = True
             self._plan_memos.pop(id(node.memo), None)
             for edge in node.protected_edges():
-                self.manager.deref(edge)
                 count = self._protected.get(edge, 0)
-                if count <= 1:
-                    self._protected.pop(edge, None)
+                if count <= 0:
+                    continue
+                self.manager.deref(edge)
+                if count == 1:
+                    del self._protected[edge]
                 else:
                     self._protected[edge] = count - 1
 

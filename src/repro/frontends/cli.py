@@ -1,4 +1,19 @@
-"""Command-line interface: ``getafix <file> [--target ...] [--algorithm ...]``."""
+"""Command-line interface: ``getafix <file>... [--target ...] [--jobs N]``.
+
+Exit codes follow the grep convention so scripts can tell the three outcomes
+apart without parsing output:
+
+* ``0`` — every query answered NO (target unreachable),
+* ``1`` — at least one query answered YES (target reachable),
+* ``2`` — usage, I/O, parse or static-semantics error (message on stderr).
+
+A single file with a single target runs in-process and prints the classic
+one-result summary.  Several files and/or several ``--target`` options form
+a *batch*: every (file, target) pair becomes one query, fanned out over
+``--jobs`` worker processes (each with a private BDD manager; see
+:mod:`repro.parallel`), and the merged table reports per-shard kernel/GC
+statistics plus the batch speedup.
+"""
 
 from __future__ import annotations
 
@@ -9,9 +24,20 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import List, Optional
 
-from .getafix import check_concurrent_reachability, check_reachability
+from ..boolprog import BoolProgError, parse_concurrent_program, parse_program
+from .getafix import (
+    _resolve_concurrent_target,
+    check_concurrent_reachability,
+    check_reachability,
+    resolve_target,
+)
 
 __all__ = ["main", "build_arg_parser"]
+
+#: Exit statuses (grep convention).
+EXIT_UNREACHABLE = 0
+EXIT_REACHABLE = 1
+EXIT_ERROR = 2
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -23,11 +49,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
             "fixed-point formulas evaluated by a symbolic (BDD) solver."
         ),
     )
-    parser.add_argument("file", type=Path, help="Boolean program source file")
+    parser.add_argument(
+        "files",
+        type=Path,
+        nargs="+",
+        metavar="file",
+        help="Boolean program source file(s); several files form a batch",
+    )
     parser.add_argument(
         "--target",
-        default="error",
-        help="'error', 'proc:label' (sequential) or 'thread:proc:label' (concurrent)",
+        action="append",
+        dest="targets",
+        metavar="TARGET",
+        help="'error', 'proc:label' (sequential) or 'thread:proc:label' "
+        "(concurrent); repeatable — each target is checked against every file "
+        "(default: error)",
     )
     parser.add_argument(
         "--algorithm",
@@ -52,26 +88,64 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable early termination when the target is found reachable",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for batch invocations; each query gets its own "
+        "BDD manager (default: 1 = sequential)",
+    )
     parser.add_argument("--json", action="store_true", help="emit the result as JSON")
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``getafix`` command; returns the exit status."""
-    parser = build_arg_parser()
-    args = parser.parse_args(argv)
-    source = args.file.read_text()
+def _prepare_queries(args: argparse.Namespace, sources: List[str]) -> Optional[List[tuple]]:
+    """Parse every file and resolve every target, front-loading user errors.
+
+    Returns ``[(path, program, {target label: locations}), ...]`` or None
+    after printing a diagnostic — parse and target-resolution failures are
+    *user* errors and are caught here, narrowly, so a ValueError/KeyError
+    escaping the engine later is a genuine bug and keeps its traceback.
+    """
+    prepared = []
+    for path, source in zip(args.files, sources):
+        try:
+            if args.concurrent:
+                program = parse_concurrent_program(source)
+                resolved = {
+                    target: _resolve_concurrent_target(program, target)
+                    for target in args.targets
+                }
+            else:
+                program = parse_program(source)
+                resolved = {
+                    target: resolve_target(program, target) for target in args.targets
+                }
+        except (BoolProgError, ValueError) as exc:
+            print(f"getafix: {path}: {exc}", file=sys.stderr)
+            return None
+        except KeyError as exc:  # unknown procedure/label in a target spec
+            location = exc.args[0] if exc.args else exc
+            print(f"getafix: {path}: unknown target location: {location}", file=sys.stderr)
+            return None
+        prepared.append((path, program, resolved))
+    return prepared
+
+
+def _run_single(args: argparse.Namespace, program: object, locations: List[tuple]) -> int:
+    """Classic single-query path: one file, one target, in-process."""
     if args.concurrent:
         result = check_concurrent_reachability(
-            source,
-            target=args.target,
+            program,
+            target=locations,
             context_switches=args.context_switches,
             early_stop=not args.no_early_stop,
         )
     else:
         result = check_reachability(
-            source,
-            target=args.target,
+            program,
+            target=locations,
             algorithm=args.algorithm,
             early_stop=not args.no_early_stop,
         )
@@ -84,7 +158,89 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"algorithm={result.algorithm} iterations={result.iterations} "
             f"summary-BDD-nodes={result.summary_nodes} time={result.total_seconds:.3f}s"
         )
-    return 0 if not result.reachable else 1
+    return EXIT_REACHABLE if result.reachable else EXIT_UNREACHABLE
+
+
+def _run_batch(args: argparse.Namespace, prepared: List[tuple]) -> int:
+    """Batch path: every (file, target) pair is one shard."""
+    from ..algorithms import run_batch
+    from ..parallel import BatchQuery
+
+    # Basenames are friendlier row labels, but two files with the same name
+    # in different directories must not collide (verdicts are keyed by name).
+    basenames = [path.name for path, _, _ in prepared]
+    ambiguous = len(set(basenames)) != len(basenames)
+    queries = []
+    for path, program, resolved in prepared:
+        label = str(path) if ambiguous else path.name
+        for target, locations in resolved.items():
+            name = f"{label}:{target}" if len(resolved) > 1 else label
+            queries.append(
+                BatchQuery(
+                    name=name,
+                    program=program,
+                    target=locations,
+                    algorithm=args.algorithm,
+                    concurrent=args.concurrent,
+                    context_switches=args.context_switches,
+                    early_stop=not args.no_early_stop,
+                )
+            )
+    report = run_batch(queries, jobs=args.jobs)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "mode": report.mode,
+                    "jobs": report.jobs,
+                    "wall_seconds": report.wall_seconds,
+                    "shard_seconds": report.shard_seconds,
+                    "speedup": report.speedup,
+                    "shards": report.rows(),
+                },
+                indent=2,
+                default=str,
+            )
+        )
+    else:
+        print(report.format_table())
+    failures = report.failures()
+    if failures:
+        for shard in failures:
+            print(f"getafix: {shard.name}: {shard.error}", file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_REACHABLE if report.any_reachable else EXIT_UNREACHABLE
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``getafix`` command; returns the exit status."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    if not args.targets:
+        args.targets = ["error"]
+    if args.jobs < 1:
+        print(f"getafix: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return EXIT_ERROR
+    # Repeating the same --target twice would only duplicate shards.
+    args.targets = list(dict.fromkeys(args.targets))
+    try:
+        sources = [path.read_text() for path in args.files]
+    except OSError as exc:
+        print(f"getafix: cannot read input: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    prepared = _prepare_queries(args, sources)
+    if prepared is None:
+        return EXIT_ERROR
+    try:
+        if len(prepared) == 1 and len(args.targets) == 1 and args.jobs == 1:
+            path, program, resolved = prepared[0]
+            return _run_single(args, program, resolved[args.targets[0]])
+        return _run_batch(args, prepared)
+    except BoolProgError as exc:
+        # Static-semantics errors surface when the engine validates the
+        # program; they are user errors, unlike any other engine exception.
+        print(f"getafix: {args.files[0]}: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,19 @@
+"""Sharded multi-process evaluation over per-shard BDD managers.
+
+Each shard of a batch owns a complete private solver stack (manager, backend,
+encoder); see :mod:`repro.parallel.shards` for the scheduler and the
+ownership contract, and :mod:`repro.parallel.merge` for the batch report.
+The high-level entry point is :func:`repro.algorithms.run_batch`.
+"""
+
+from .merge import BatchReport, merge_shards
+from .shards import BatchQuery, ShardResult, run_shard, run_shards
+
+__all__ = [
+    "BatchQuery",
+    "BatchReport",
+    "ShardResult",
+    "merge_shards",
+    "run_shard",
+    "run_shards",
+]

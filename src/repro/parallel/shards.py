@@ -1,0 +1,214 @@
+"""Process-pool shard scheduler for batches of reachability queries.
+
+The paper's Figure 2/3 experiments are embarrassingly parallel: dozens of
+independent reachability checks (program x target x algorithm), each owning
+its own MUCKE-style solver instance.  Since the signed-edge representation
+and the GC safe-point protocol are *manager-local* (see
+:mod:`repro.bdd.manager`), every shard can construct a private
+:class:`~repro.bdd.BddManager` + :class:`~repro.fixedpoint.symbolic.SymbolicBackend`
+with no shared state whatsoever — which makes process-level sharding the
+natural parallelism unit in CPython (threads would fight the GIL for zero
+gain on this pure-Python kernel).
+
+Ownership contract
+------------------
+* A :class:`BatchQuery` is plain picklable data: the parsed program (or its
+  source text), a friendly target spec, and algorithm/engine options.
+* :func:`run_shard` is the *worker entry point*.  It runs in the worker
+  process, builds the entire solver stack from scratch, and returns a
+  :class:`ShardResult` whose :class:`~repro.algorithms.ReachabilityResult`
+  carries the shard's own kernel/GC statistics snapshot.  No BDD edge, plan,
+  manager or backend ever crosses a process boundary — only programs,
+  targets and result records do.
+* :func:`run_shards` fans a batch out over a process pool (``jobs`` workers)
+  and preserves query order in the returned list.  With ``jobs <= 1``, or
+  when the batch cannot be pickled, or when the platform refuses to start a
+  pool, it degrades to an in-process sequential loop with identical
+  semantics (same results, same ordering, errors captured the same way).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..algorithms.result import ReachabilityResult
+
+__all__ = ["BatchQuery", "ShardResult", "run_shard", "run_shards"]
+
+
+@dataclass
+class BatchQuery:
+    """One reachability query of a batch, as plain picklable data.
+
+    Attributes
+    ----------
+    name:
+        Row label in batch reports (e.g. ``"Driver 3 handlers (pos)"``).
+    program:
+        A parsed :class:`~repro.boolprog.Program` /
+        :class:`~repro.boolprog.ConcurrentProgram`, or the program source
+        text (parsed in the worker).
+    target:
+        A friendly target spec: ``"error"``, ``"proc:label"``
+        (``"thread:proc:label"`` for concurrent programs), a list of such
+        strings, or explicit ``(module, pc)`` pairs.
+    algorithm:
+        Sequential algorithm name (``"summary"``, ``"ef"``, ``"ef-opt"``);
+        ignored when ``concurrent`` is set.
+    concurrent:
+        Use the bounded context-switching engine on a concurrent program.
+    context_switches:
+        Context-switch bound for the concurrent engine.
+    early_stop:
+        Stop the fixed point as soon as the target is known reachable.
+    expected:
+        Optional known verdict; merged reports flag mismatches.
+    """
+
+    name: str
+    program: Union[str, object]
+    target: Union[str, Sequence[str], Sequence[Tuple[int, int]]] = "error"
+    algorithm: str = "ef-opt"
+    concurrent: bool = False
+    context_switches: int = 2
+    early_stop: bool = True
+    expected: Optional[bool] = None
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one shard: the query's result plus worker-side telemetry.
+
+    ``result`` is ``None`` exactly when ``error`` is set; ``error`` carries
+    the worker-side exception rendered as ``"ExcType: message"`` so a batch
+    survives individual shard failures.  ``pid`` identifies the worker
+    process that ran the shard (the driver process itself in sequential
+    mode) and ``elapsed_seconds`` is the shard-local wall clock, which a
+    merged report compares against the batch wall clock to compute speedup.
+    """
+
+    name: str
+    result: Optional[ReachabilityResult] = None
+    error: Optional[str] = None
+    pid: int = 0
+    elapsed_seconds: float = 0.0
+    expected: Optional[bool] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def mismatch(self) -> bool:
+        """True when an expected verdict was given and the shard disagrees."""
+        return (
+            self.ok
+            and self.expected is not None
+            and self.result is not None
+            and self.result.reachable != self.expected
+        )
+
+    def live_nodes(self) -> Optional[int]:
+        """The shard kernel's live BDD node count, or None."""
+        return self.result.live_nodes() if self.result is not None else None
+
+    def gc_collections(self) -> Optional[int]:
+        """The shard kernel's collection count, or None."""
+        if self.result is None:
+            return None
+        gc = self.result.gc_stats()
+        if not gc:
+            return 0
+        count = gc.get("collections")
+        return count if isinstance(count, int) else 0
+
+
+def run_shard(query: BatchQuery) -> ShardResult:
+    """Worker entry point: run one query with a private solver stack.
+
+    Imports the front end lazily (workers under ``spawn`` re-import this
+    module) and builds a fresh ``SymbolicBackend``/``BddManager`` pair via
+    the engine — nothing is shared with the driver process or any sibling
+    shard, so the per-shard ``result.stats`` snapshot is exactly the kernel
+    activity of this one query.
+    """
+    from ..frontends.getafix import check_concurrent_reachability, check_reachability
+
+    started = time.perf_counter()
+    try:
+        if query.concurrent:
+            result = check_concurrent_reachability(
+                query.program,
+                target=query.target,
+                context_switches=query.context_switches,
+                early_stop=query.early_stop,
+            )
+        else:
+            result = check_reachability(
+                query.program,
+                target=query.target,
+                algorithm=query.algorithm,
+                early_stop=query.early_stop,
+            )
+        return ShardResult(
+            name=query.name,
+            result=result,
+            pid=os.getpid(),
+            elapsed_seconds=time.perf_counter() - started,
+            expected=query.expected,
+        )
+    except Exception as exc:  # noqa: BLE001 — a shard failure must not kill the batch
+        return ShardResult(
+            name=query.name,
+            error=f"{type(exc).__name__}: {exc}",
+            pid=os.getpid(),
+            elapsed_seconds=time.perf_counter() - started,
+            expected=query.expected,
+        )
+
+
+def _batch_is_picklable(queries: Sequence[BatchQuery]) -> bool:
+    """Feasibility probe: can this batch cross a process boundary?"""
+    try:
+        pickle.dumps(list(queries))
+        return True
+    except Exception:
+        return False
+
+
+def run_shards(
+    queries: Sequence[BatchQuery],
+    jobs: int = 1,
+    start_method: Optional[str] = None,
+) -> Tuple[List[ShardResult], str, Optional[str]]:
+    """Run a batch of queries, fanning out over ``jobs`` worker processes.
+
+    Returns ``(results, mode, fallback_reason)``: ``results`` preserves
+    query order; ``mode`` records how the batch actually ran —
+    ``"process-pool"``, ``"sequential"`` (requested with ``jobs <= 1`` or a
+    trivial batch) or ``"sequential-fallback"`` (pool unavailable);
+    ``fallback_reason`` names the cause of a fallback (unpicklable batch,
+    or the exception that broke the pool) and is None otherwise.
+    """
+    queries = list(queries)
+    if jobs <= 1 or len(queries) <= 1:
+        return [run_shard(query) for query in queries], "sequential", None
+    if not _batch_is_picklable(queries):
+        reason = "batch is not picklable"
+        return [run_shard(query) for query in queries], "sequential-fallback", reason
+    try:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        context = multiprocessing.get_context(start_method) if start_method else None
+        workers = min(jobs, len(queries))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            results = list(pool.map(run_shard, queries))
+        return results, "process-pool", None
+    except Exception as exc:  # pool start-up or transport failure: degrade, don't die
+        reason = f"process pool failed: {type(exc).__name__}: {exc}"
+        return [run_shard(query) for query in queries], "sequential-fallback", reason

@@ -307,6 +307,80 @@ class TestSymbolicBackendGc:
         interps = {"Init": init, "Trans": mgr.FALSE, "Reach": mgr.FALSE}
         assert plan.eval(keeper, interps) == init
 
+    def test_close_returns_live_nodes_to_baseline_on_shared_context(self):
+        """A short-lived backend over a shared context must leave no nodes
+        behind: after ``close()`` + a sweep, ``live_nodes`` is back to the
+        keeper-only baseline."""
+        from repro.fixedpoint import And, Exists, SymbolicBackend, Var
+
+        system, Reach, Init, Trans, u = self._system()
+        keeper = SymbolicBackend(system)
+        context = keeper.context
+        mgr = keeper.manager
+        keeper.compile_formula(system.equation("Reach").body)
+        mgr.collect_garbage()
+        baseline = len(mgr)
+        # The transient backend compiles a *different* formula so it builds
+        # static skeleton nodes of its own (not shared with the keeper's).
+        x = Var("x", Trans.params[0][1])
+        transient = SymbolicBackend(system, context=context)
+        plan = transient.compile_formula(Exists(x, And(Init(x), Trans(x, u), Reach(x))))
+        init = mgr.ref(transient.context.encode_cube(u, 2))
+        plan.eval(transient, {"Init": init, "Trans": mgr.FALSE, "Reach": mgr.FALSE})
+        assert len(mgr) > baseline
+        transient.close()
+        mgr.deref(init)
+        mgr.collect_garbage()
+        assert len(mgr) == baseline
+
+    def test_release_after_close_does_not_steal_references(self):
+        """Releasing a plan whose bookkeeping entry is gone (the backend was
+        closed) must not deref again — the manager reference may belong to
+        another owner by then."""
+        from repro.fixedpoint import Eq, SymbolicBackend
+        from repro.fixedpoint.terms import Const
+
+        system, Reach, Init, Trans, u = self._system()
+        backend = SymbolicBackend(system)
+        mgr = backend.manager
+        plan = backend.compile_formula(Eq(u, Const(Init.params[0][1], 3)))
+        (edge,) = plan.protected_edges()
+        backend.close()
+        # Another owner now holds the only external reference to the edge.
+        mgr.ref(edge)
+        refs_before = mgr.external_references()
+        backend._release_plan(plan)
+        backend._release_plan(plan)
+        assert mgr.external_references() == refs_before
+        # The other owner's reference still protects the edge across sweeps.
+        mgr.collect_garbage()
+        assert mgr.eval(edge, {mgr.var_name(i): True for i in range(mgr.num_vars)}) in (
+            True,
+            False,
+        )
+
+    def test_double_release_does_not_steal_sibling_plan_protection(self):
+        """Two plans baking in the same static edge: releasing one of them
+        twice must deref exactly once, leaving the sibling's protection
+        intact (each plan node releases at most once)."""
+        from repro.fixedpoint import Eq, SymbolicBackend
+        from repro.fixedpoint.terms import Const
+
+        system, Reach, Init, Trans, u = self._system()
+        backend = SymbolicBackend(system)
+        formula = Eq(u, Const(Init.params[0][1], 1))
+        plan_a = backend.compile_formula(formula)
+        plan_b = backend.compile_formula(formula)
+        (edge,) = plan_a.protected_edges()
+        assert plan_b.protected_edges() == (edge,)  # canonical: same static edge
+        assert backend._protected[edge] == 2
+        backend._release_plan(plan_a)
+        backend._release_plan(plan_a)  # second release must be a no-op
+        assert backend._protected[edge] == 1
+        backend.manager.collect_garbage()
+        # plan_b still evaluates against the protected skeleton.
+        assert plan_b.eval(backend, {}) == edge
+
     def test_nested_evaluation_with_aggressive_gc_is_correct(self):
         from repro.fixedpoint import SymbolicBackend, evaluate_nested, Var
 

@@ -191,6 +191,51 @@ class TestInspection:
         with pytest.raises(BddError):
             mgr.count_sat(f, ["a"])
 
+    def test_count_sat_negation_heavy(self):
+        """count_sat on complement-edge-rich formulas (signed-edge memo).
+
+        Every arrival at a complemented edge must hit the same memo as the
+        regular polarity; the regression builds formulas where shared signed
+        subgraphs are reached under different variable gaps and checks the
+        counts against brute-force enumeration, in both polarities.
+        """
+        names = ["a", "b", "c", "d", "e", "f"]
+        mgr = BddManager(names)
+        v = {name: mgr.var(name) for name in names}
+        # XOR chains are maximally complement-edge-shared.
+        xor_chain = mgr.xor(v["a"], mgr.xor(v["b"], mgr.xor(v["c"], v["d"])))
+        # A shared negated subformula reached under different gap positions.
+        shared = mgr.not_(mgr.xor(v["e"], v["f"]))
+        formulas = [
+            xor_chain,
+            mgr.not_(xor_chain),
+            mgr.or_(mgr.and_(v["a"], shared), mgr.and_(mgr.not_(v["c"]), shared)),
+            mgr.iff(mgr.not_(mgr.and_(v["a"], v["b"])), mgr.not_(mgr.or_(v["d"], shared))),
+            mgr.not_(mgr.implies(mgr.not_(v["b"]), mgr.not_(shared))),
+        ]
+        total = 1 << len(names)
+        for formula in formulas:
+            expected = 0
+            for bits in range(total):
+                env = {name: bool((bits >> k) & 1) for k, name in enumerate(names)}
+                if mgr.eval(formula, env):
+                    expected += 1
+            assert mgr.count_sat(formula, names) == expected
+            # The two polarities must partition the space exactly.
+            assert mgr.count_sat(mgr.not_(formula), names) == total - expected
+
+    def test_count_sat_negation_memo_is_polarity_shared(self):
+        """A wide disjunction of negated shared xors stays cheap: the memo
+        must serve complemented arrivals, not redo the subtraction walk."""
+        names = [f"x{i}" for i in range(16)]
+        mgr = BddManager(names)
+        parity = mgr.var(names[0])
+        for name in names[1:]:
+            parity = mgr.xor(parity, mgr.var(name))
+        # Parity of 16 variables is satisfied by exactly half the space.
+        assert mgr.count_sat(parity, names) == 1 << 15
+        assert mgr.count_sat(mgr.not_(parity), names) == 1 << 15
+
     def test_sat_one(self, mgr):
         f = mgr.and_(mgr.var("a"), mgr.not_(mgr.var("c")))
         model = mgr.sat_one(f)

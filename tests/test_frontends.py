@@ -90,7 +90,9 @@ class TestCli:
     def test_arg_parser_defaults(self):
         args = build_arg_parser().parse_args(["program.bp"])
         assert args.algorithm == "ef-opt"
-        assert args.target == "error"
+        assert [p.name for p in args.files] == ["program.bp"]
+        assert args.targets is None  # main() defaults this to ["error"]
+        assert args.jobs == 1
         assert not args.concurrent
 
     def test_sequential_run(self, tmp_path, capsys):
@@ -131,3 +133,112 @@ class TestCli:
         )
         assert "YES" in capsys.readouterr().out
         assert status == 1
+
+
+class TestCliExitCodes:
+    """0 = unreachable, 1 = reachable, 2 = error — scripts must be able to
+    tell YES from a crash, so front-end errors print cleanly and exit 2."""
+
+    def test_parse_error_exits_two_with_clean_message(self, tmp_path, capsys):
+        path = tmp_path / "broken.bp"
+        path.write_text("main( begin oops")
+        status = main([str(path)])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert captured.out == ""  # nothing on stdout
+        assert "getafix:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_static_error_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "static.bp"
+        path.write_text("main() begin x := T; end")  # x undeclared
+        status = main([str(path), "--target", "main:whatever"])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert "getafix:" in captured.err
+
+    def test_unknown_label_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "prog.bp"
+        path.write_text(POSITIVE)
+        status = main([str(path), "--target", "main:missing"])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert "getafix:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        status = main([str(tmp_path / "nope.bp")])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert "cannot read input" in captured.err
+
+    def test_bad_jobs_value_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "prog.bp"
+        path.write_text(POSITIVE)
+        status = main([str(path), "--jobs", "0"])
+        assert status == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestCliBatch:
+    def _write(self, tmp_path):
+        pos = tmp_path / "pos.bp"
+        pos.write_text(POSITIVE)
+        neg = tmp_path / "neg.bp"
+        neg.write_text(NEGATIVE)
+        return pos, neg
+
+    def test_multi_file_batch_reports_and_exits_one(self, tmp_path, capsys):
+        pos, neg = self._write(tmp_path)
+        status = main([str(pos), str(neg), "--target", "main:target", "--jobs", "2"])
+        captured = capsys.readouterr()
+        assert status == 1  # at least one file reachable
+        assert "pos.bp" in captured.out and "neg.bp" in captured.out
+        assert "speedup=" in captured.out
+        assert "live" in captured.out  # per-shard kernel stats columns
+
+    def test_multi_target_batch_on_one_file(self, tmp_path, capsys):
+        source = """
+        main() begin
+          a: skip;
+          b: skip;
+        end
+        """
+        path = tmp_path / "two.bp"
+        path.write_text(source)
+        status = main([str(path), "--target", "main:a", "--target", "main:b"])
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "main:a" in captured.out and "main:b" in captured.out
+
+    def test_all_unreachable_batch_exits_zero(self, tmp_path, capsys):
+        neg = tmp_path / "neg.bp"
+        neg.write_text(NEGATIVE)
+        neg2 = tmp_path / "neg2.bp"
+        neg2.write_text(NEGATIVE)
+        status = main([str(neg), str(neg2), "--target", "main:target"])
+        capsys.readouterr()
+        assert status == 0
+
+    def test_batch_with_broken_file_exits_two(self, tmp_path, capsys):
+        pos, _ = self._write(tmp_path)
+        bad = tmp_path / "bad.bp"
+        bad.write_text("main( begin")
+        status = main([str(pos), str(bad), "--target", "main:target"])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert "bad.bp" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_batch_json_output(self, tmp_path, capsys):
+        pos, neg = self._write(tmp_path)
+        status = main(
+            [str(pos), str(neg), "--target", "main:target", "--jobs", "2", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert payload["jobs"] == 2
+        assert [row["name"] for row in payload["shards"]] == ["pos.bp", "neg.bp"]
+        assert payload["shards"][0]["reachable"] is True
+        assert payload["shards"][1]["reachable"] is False
+        assert payload["shards"][0]["live_nodes"] > 0
