@@ -15,12 +15,24 @@ from typing import List, Sequence
 import pytest
 
 from repro.algorithms import run_batch, run_sequential
+from repro.api import AnalysisSession
 from repro.baselines import run_bebop, run_moped
 from repro.benchgen import DriverSpec, make_driver
+from repro.boolprog import build_cfg
 from repro.frontends import resolve_target
 from repro.parallel import BatchQuery
 
 from conftest import measure
+
+
+def multi_target_sweep(program, primary_target):
+    """One query per procedure exit plus the suite target (session workload)."""
+    cfg = build_cfg(program)
+    targets = [resolve_target(program, primary_target)]
+    targets += [
+        [(cfg.module_of(name), cfg.procedure_cfg(name).exit)] for name in cfg.procedures
+    ]
+    return targets
 
 ENGINES = {
     "getafix-ef": lambda program, locations: run_sequential(program, locations, algorithm="ef"),
@@ -87,3 +99,26 @@ def test_driver_sharded(benchmark, jobs):
     assert not report.failures() and not report.mismatches()
     benchmark.extra_info["mode"] = report.mode
     benchmark.extra_info["speedup"] = round(report.speedup, 2)
+
+
+@pytest.mark.parametrize("algorithm", ["summary", "ef-opt"])
+def test_driver_session_reuse(benchmark, algorithm):
+    """Session mode: one compile + solve answers the whole multi-target sweep
+    (verdicts must match fresh per-target runs)."""
+    spec = DriverSpec(name="driver-3", handlers=3, flags=3, helpers=1, positive=True)
+    program = make_driver(spec)
+    targets = multi_target_sweep(program, spec.target)
+    fresh = [
+        run_sequential(program, locations, algorithm=algorithm) for locations in targets
+    ]
+
+    def session_sweep():
+        with AnalysisSession(program, default_algorithm=algorithm) as session:
+            return session.check_all(targets)
+
+    reused = measure(benchmark, session_sweep)
+    assert [r.reachable for r in reused] == [r.reachable for r in fresh]
+    benchmark.extra_info["targets"] = len(targets)
+    benchmark.extra_info["reused_solves"] = sum(
+        1 for r in reused if r.details["reused_solve"]
+    )

@@ -84,3 +84,34 @@ def test_regression_suite_sharded(benchmark, jobs):
     benchmark.extra_info["mode"] = report.mode
     benchmark.extra_info["speedup"] = round(report.speedup, 2)
     benchmark.extra_info["worker_pids"] = len(report.worker_pids())
+
+
+def test_regression_session_reuse(benchmark):
+    """Session mode over the suite: each program opens one session, solves the
+    summary fixed point once and answers its target plus every procedure exit;
+    verdicts must match fresh per-target runs."""
+    from bench_fig2_drivers import multi_target_sweep
+
+    from repro.api import AnalysisSession
+
+    suite = [
+        (case, multi_target_sweep(case.program, case.target))
+        for case in regression_suite(True)[:3] + regression_suite(False)[:3]
+    ]
+    fresh = [
+        [run_sequential(case.program, locations, algorithm="summary") for locations in targets]
+        for case, targets in suite
+    ]
+
+    def session_sweeps():
+        results = []
+        for case, targets in suite:
+            with AnalysisSession(case.program, default_algorithm="summary") as session:
+                results.append(session.check_all(targets))
+        return results
+
+    reused = measure(benchmark, session_sweeps)
+    for fresh_results, session_results in zip(fresh, reused):
+        assert [r.reachable for r in session_results] == [r.reachable for r in fresh_results]
+    benchmark.extra_info["programs"] = len(suite)
+    benchmark.extra_info["queries"] = sum(len(targets) for _, targets in suite)

@@ -86,3 +86,31 @@ def test_terminator_sharded(benchmark, jobs):
     assert not report.failures() and not report.mismatches()
     benchmark.extra_info["mode"] = report.mode
     benchmark.extra_info["speedup"] = round(report.speedup, 2)
+
+
+@pytest.mark.parametrize("variant", ["iterative", "schoose"])
+def test_terminator_session_reuse(benchmark, variant):
+    """Session mode: one compile + solve answers the whole multi-target sweep."""
+    from bench_fig2_drivers import multi_target_sweep
+
+    from repro.api import AnalysisSession
+
+    spec = TerminatorSpec(
+        name=f"terminator-{variant}-2b", counter_bits=2, variant=variant, positive=True
+    )
+    program = make_terminator(spec)
+    targets = multi_target_sweep(program, spec.target)
+    fresh = [
+        run_sequential(program, locations, algorithm="summary") for locations in targets
+    ]
+
+    def session_sweep():
+        with AnalysisSession(program, default_algorithm="summary") as session:
+            return session.check_all(targets)
+
+    reused = measure(benchmark, session_sweep)
+    assert [r.reachable for r in reused] == [r.reachable for r in fresh]
+    benchmark.extra_info["targets"] = len(targets)
+    benchmark.extra_info["reused_solves"] = sum(
+        1 for r in reused if r.details["reused_solve"]
+    )

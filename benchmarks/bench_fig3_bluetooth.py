@@ -110,3 +110,17 @@ def test_bluetooth_sharded(benchmark, jobs):
     assert not report.failures() and not report.mismatches()
     benchmark.extra_info["mode"] = report.mode
     benchmark.extra_info["speedup"] = round(report.speedup, 2)
+
+
+def test_bluetooth_grouping_keeps_concurrent_queries_solo(benchmark):
+    """Concurrent queries use the bounded context-switching engine, which has
+    no session support: batch grouping must leave every query its own shard
+    (one solve per query, no reuse flags)."""
+    from repro.parallel import group_queries
+
+    queries = batch_queries()
+    assert group_queries(queries) == [[index] for index in range(len(queries))]
+    report = measure(benchmark, run_batch, queries[:2], jobs=1)
+    assert not report.failures() and not report.mismatches()
+    assert report.reused_count == 0
+    assert report.queries_per_solve == 1.0

@@ -13,8 +13,10 @@ Usage::
     python benchmarks/report.py figure3            # Bluetooth, explicit engine
     python benchmarks/report.py figure3-symbolic   # Bluetooth, fixed-point engine
     python benchmarks/report.py figure3-parallel   # Bluetooth, sharded symbolic
+    python benchmarks/report.py session            # fresh vs session-reuse sweep
     python benchmarks/report.py kernel             # BDD kernel micro-benchmarks
     python benchmarks/report.py parallel-smoke     # CI: pool pickling smoke
+    python benchmarks/report.py session-smoke      # CI: per-shard session reuse
     python benchmarks/report.py all
 """
 
@@ -26,6 +28,7 @@ import time
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.algorithms import run_batch, run_concurrent, run_sequential
+from repro.api import AnalysisSession
 from repro.baselines import run_bebop, run_concurrent_explicit, run_moped
 from repro.benchgen import (
     DriverSpec,
@@ -71,8 +74,13 @@ def _kernel_stats_line(result) -> str:
     manager = stats.get("manager", {})
     and_rate = manager.get("ops", {}).get("and", {}).get("hit_rate", 0.0)
     gc = manager.get("gc", {})
+    states = (
+        f"summary_states={result.summary_states} "
+        if result.summary_states is not None
+        else ""
+    )
     return (
-        f"  kernel: static_hoists={stats.get('static_hoists', 0)} "
+        f"  kernel: {states}static_hoists={stats.get('static_hoists', 0)} "
         f"plan_memo_hit_rate={stats.get('plan_memo_hit_rate', 0.0):.2f} "
         f"and_hit_rate={and_rate:.2f} "
         f"peak_nodes={manager.get('peak_nodes', 0)} "
@@ -192,6 +200,151 @@ def figure3_parallel(jobs: int = 4) -> None:
     )
 
 
+def _session_sweep(max_targets: int = 8):
+    """The Figure 2 driver/terminator programs as multi-target sweeps.
+
+    Each program gets one query per procedure exit plus the suite's own
+    target — the compile-once/query-many shape ("which procedures can
+    return, and is the bug reachable?") that a session amortises; the
+    target construction is shared with the driver/terminator/regression
+    pytest benchmarks so both harnesses measure the same workload.
+    """
+    from bench_fig2_drivers import multi_target_sweep
+
+    sweeps = []
+    specs = []
+    for positive in (True, False):
+        for handlers in (2, 3):
+            specs.append(
+                (
+                    make_driver(
+                        DriverSpec(
+                            name=f"driver-{handlers}",
+                            handlers=handlers,
+                            flags=min(4, handlers),
+                            helpers=max(1, handlers // 2),
+                            positive=positive,
+                        )
+                    ),
+                    f"Driver {handlers} ({'pos' if positive else 'neg'})",
+                    "error",
+                )
+            )
+    for positive in (True, False):
+        spec = TerminatorSpec(
+            name="terminator-2b", counter_bits=2, variant="iterative", positive=positive
+        )
+        specs.append(
+            (make_terminator(spec), f"Terminator 2b ({'pos' if positive else 'neg'})", spec.target)
+        )
+    for program, label, primary in specs:
+        targets = multi_target_sweep(program, primary)
+        sweeps.append((label, program, targets[:max_targets]))
+    return sweeps
+
+
+def session_table(algorithm: str = "summary") -> None:
+    """Fresh-run vs session-reuse wall clock on multi-target Figure 2 sweeps.
+
+    Fresh: one full ``run_sequential`` per target (validate + CFG + encode +
+    solve each time).  Session: one ``AnalysisSession`` per program — solve
+    once, answer every target as a query post-pass.  Verdicts must be
+    identical; for the target-free ``summary`` algorithm the session total
+    is asserted strictly below the fresh total (the solve amortises).
+    """
+    print(f"== Session reuse: fresh vs compile-once/query-many ({algorithm}) ==")
+    header = (
+        f"{'program':26s}  {'targets':>7s}  {'fresh (s)':>9s}  {'session (s)':>11s}  "
+        f"{'speedup':>7s}  {'reused':>6s}  {'states':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    total_fresh = 0.0
+    total_session = 0.0
+    for label, program, targets in _session_sweep():
+        started = time.perf_counter()
+        fresh = [
+            run_sequential(program, locations, algorithm=algorithm) for locations in targets
+        ]
+        fresh_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        with AnalysisSession(program, default_algorithm=algorithm) as session:
+            reused = session.check_all(targets, algorithm=algorithm)
+        session_seconds = time.perf_counter() - started
+        for fresh_result, session_result in zip(fresh, reused):
+            assert fresh_result.reachable == session_result.reachable, (
+                f"{label}: fresh and session verdicts disagree"
+            )
+        reuse_count = sum(1 for r in reused if r.details.get("reused_solve"))
+        states = reused[-1].summary_states
+        total_fresh += fresh_seconds
+        total_session += session_seconds
+        print(
+            f"{label:26s}  {len(targets):7d}  {fresh_seconds:9.2f}  {session_seconds:11.2f}  "
+            f"{fresh_seconds / max(session_seconds, 1e-9):6.2f}x  {reuse_count:6d}  "
+            f"{states if states is not None else 0:7d}"
+        )
+    print(
+        f"total: fresh={total_fresh:.2f}s session={total_session:.2f}s "
+        f"speedup={total_fresh / max(total_session, 1e-9):.2f}x"
+    )
+    if algorithm == "summary":
+        assert total_session < total_fresh, (
+            "session reuse must beat fresh runs on the summary algorithm "
+            f"(fresh={total_fresh:.2f}s, session={total_session:.2f}s)"
+        )
+        print("session reuse OK: identical verdicts, solve amortised across targets")
+
+
+def session_smoke(jobs: int = 2) -> None:
+    """CI smoke: per-shard session reuse inside a jobs=2 process pool.
+
+    One program with several targets must group onto one session (>= 1
+    reused solve), a second program keeps the pool honest, and the grouped
+    verdicts must match an ungrouped (one query per shard) fresh run.
+    """
+    from repro.parallel import BatchQuery
+
+    multi = """
+    decl g;
+    main() begin
+      g := T;
+      if (g) then a: skip; fi
+      if (!g) then b: skip; fi
+      c: skip;
+    end
+    """
+    other = """
+    decl h;
+    main() begin
+      h := F;
+      if (h) then hit: skip; fi
+    end
+    """
+    queries = [
+        BatchQuery(name="multi:a", program=multi, target="main:a", expected=True),
+        BatchQuery(name="multi:b", program=multi, target="main:b", expected=False),
+        BatchQuery(name="multi:c", program=multi, target="main:c", expected=True),
+        BatchQuery(name="other:hit", program=other, target="main:hit", expected=False),
+    ]
+    fresh = run_batch(queries, jobs=1, group_by_program=False)
+    reused = run_batch(queries, jobs=jobs)
+    assert reused.mode == "process-pool", f"expected a process pool, ran {reused.mode}"
+    assert not fresh.failures() and not reused.failures(), (
+        [s.error for s in fresh.failures() + reused.failures()]
+    )
+    assert not reused.mismatches(), [s.name for s in reused.mismatches()]
+    assert fresh.verdicts() == reused.verdicts(), "grouped verdicts diverged from fresh"
+    assert reused.reused_count >= 1, "expected at least one reused solve in the group"
+    assert fresh.reused_count == 0, "ungrouped batch must not report reuse"
+    print(reused.format_table())
+    print(
+        f"session smoke OK: identical verdicts fresh vs reused, "
+        f"{reused.reused_count} reused solve(s), "
+        f"queries/solve={reused.queries_per_solve:.2f} at jobs={jobs}"
+    )
+
+
 def parallel_smoke() -> None:
     """CI smoke: a jobs=2 pool over two small regression programs.
 
@@ -285,8 +438,10 @@ def main(argv: List[str] | None = None) -> int:
             "figure3",
             "figure3-symbolic",
             "figure3-parallel",
+            "session",
             "kernel",
             "parallel-smoke",
+            "session-smoke",
             "all",
         ],
         help="which table to regenerate",
@@ -297,6 +452,12 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "--kernel-bits", type=int, default=14, help="counter width for the kernel table"
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="summary",
+        choices=["summary", "ef", "ef-opt"],
+        help="algorithm for the session table",
     )
     args = parser.parse_args(argv)
     if args.what in ("figure2", "all"):
@@ -314,10 +475,15 @@ def main(argv: List[str] | None = None) -> int:
     if args.what in ("figure3-parallel", "all"):
         figure3_parallel(jobs=args.jobs)
         print()
+    if args.what in ("session", "all"):
+        session_table(algorithm=args.algorithm)
+        print()
     if args.what in ("kernel", "all"):
         kernel(bits=args.kernel_bits)
     if args.what == "parallel-smoke":
         parallel_smoke()
+    if args.what == "session-smoke":
+        session_smoke()
     return 0
 
 

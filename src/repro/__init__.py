@@ -6,6 +6,8 @@ are:
 
 * :func:`repro.frontends.check_reachability` — the GETAFIX front door: parse a
   Boolean program, pick an algorithm, answer a reachability query.
+* :class:`repro.api.AnalysisSession` — the compile-once / query-many session
+  API: one program, many targets, with interpretation reuse across queries.
 * :mod:`repro.fixedpoint` — the fixed-point calculus used to *write* the
   model-checking algorithms.
 * :mod:`repro.algorithms` — the paper's algorithms expressed as equation

@@ -7,6 +7,14 @@ relations and an allocation hint, the chosen reachability algorithm
 or :mod:`~repro.algorithms.entry_forward_opt`) provides the fixed-point
 formula, and the symbolic evaluator (:mod:`repro.fixedpoint`) plays the role
 of MUCKE.
+
+Since the session API landed, :func:`run_sequential` and :func:`run_batch`
+are thin compatibility wrappers: a `run_sequential` call opens a one-shot
+:class:`repro.api.AnalysisSession`, answers the single query and closes the
+session — same signature, same semantics, same result record as the old
+monolithic pipeline.  Callers with several targets on one program should
+hold a session (or let :func:`run_batch` group by program) so validation,
+encoding and the summary fixed point are paid once, not per query.
 """
 
 from __future__ import annotations
@@ -14,12 +22,8 @@ from __future__ import annotations
 import time
 from typing import Mapping, Optional, Sequence, Tuple, Union
 
-from ..boolprog import Program, build_cfg, check_program
-from ..fixedpoint import evaluate_nested, evaluate_simultaneous
-from ..fixedpoint.symbolic import SymbolicBackend
-from ..encode.templates import SequentialEncoder
+from ..boolprog import Program
 from . import entry_forward, entry_forward_opt, summary_basic
-from .common import AlgorithmSpec, compile_query, finish_symbolic_run
 from .result import ReachabilityResult
 
 __all__ = ["SEQUENTIAL_ALGORITHMS", "run_sequential", "run_batch"]
@@ -56,63 +60,37 @@ def run_sequential(
         Stop the fixed-point iteration as soon as the target is known
         reachable (the appendix formula's "early termination" clause).
     """
+    # Imported lazily: repro.api builds on this module's algorithm registry.
+    from ..api.session import AnalysisSession
+
     if algorithm not in SEQUENTIAL_ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose one of {sorted(SEQUENTIAL_ALGORITHMS)}"
         )
     started = time.perf_counter()
-    if validate:
-        check_program(program)
-    cfg = build_cfg(program)
-    encoder = SequentialEncoder(cfg)
-    spec: AlgorithmSpec = SEQUENTIAL_ALGORITHMS[algorithm](encoder)
-    backend = SymbolicBackend(spec.system)
-
-    encode_start = time.perf_counter()
-    templates = encoder.encode(backend, list(target_locations))
-    encode_seconds = time.perf_counter() - encode_start
-
-    inputs = templates.interps()
-    manager = backend.manager
-    query_holds = compile_query(backend, inputs, spec.query)
-    stop = query_holds if early_stop else None
-    evaluate = evaluate_nested if spec.evaluation == "nested" else evaluate_simultaneous
-    evaluation = evaluate(
-        spec.system,
-        spec.target_relation,
-        backend,
-        inputs,
+    session = AnalysisSession(
+        program,
+        default_algorithm=algorithm,
+        validate=validate,
         max_iterations=max_iterations,
-        stop=stop,
     )
-    reachable = query_holds(evaluation.interpretations)
-    summary_node = evaluation.interpretations[spec.target_relation]
-    total_seconds = time.perf_counter() - started
-    summary_nodes, live_nodes, stats = finish_symbolic_run(backend, summary_node)
-    return ReachabilityResult(
-        reachable=reachable,
-        algorithm=f"getafix-{spec.name}",
-        iterations=evaluation.iterations,
-        equation_evaluations=evaluation.equation_evaluations,
-        summary_nodes=summary_nodes,
-        elapsed_seconds=evaluation.elapsed_seconds,
-        encode_seconds=encode_seconds,
-        total_seconds=total_seconds,
-        stopped_early=evaluation.stopped_early,
-        details={
-            "bdd_variables": manager.num_vars,
-            "bdd_live_nodes": live_nodes,
-            "target_locations": list(target_locations),
-            "evaluation_mode": spec.evaluation,
-        },
-        stats=stats,
-    )
+    try:
+        result = session.check(
+            [tuple(location) for location in target_locations],
+            algorithm=algorithm,
+            early_stop=early_stop,
+        )
+    finally:
+        session.close()
+    result.total_seconds = time.perf_counter() - started
+    return result
 
 
 def run_batch(
     queries: Sequence[Union["BatchQuery", Mapping[str, object]]],
     jobs: int = 1,
     start_method: Optional[str] = None,
+    group_by_program: bool = True,
 ) -> "BatchReport":
     """Run a batch of reachability queries, sharded over worker processes.
 
@@ -123,8 +101,18 @@ def run_batch(
     and the merged :class:`repro.parallel.BatchReport` carries per-shard
     kernel/GC statistics alongside the verdicts.
 
+    With ``group_by_program`` (the default), sequential queries that share
+    a program and algorithm are grouped onto ONE shard, which opens a
+    single :class:`repro.api.AnalysisSession`, solves the summary fixed
+    point once and answers every target in the group as a query post-pass
+    — interpretations are exchanged between queries *within* a shard
+    rather than re-derived per query.  The report's ``queries_per_solve``
+    records the amortisation; per-query reuse shows up as
+    ``ShardResult.reused_solve``.  Pass ``group_by_program=False`` for the
+    strict one-query-per-shard behaviour.
+
     ``jobs <= 1`` (or a batch that cannot be pickled, or a platform without
-    working process pools) runs the same queries sequentially in-process
+    working process pools) runs the same groups sequentially in-process
     with identical results; see :func:`repro.parallel.run_shards`.
     """
     # Imported lazily: repro.parallel pulls in the front end, which imports
@@ -136,7 +124,9 @@ def run_batch(
         for query in queries
     ]
     started = time.perf_counter()
-    shards, mode, fallback_reason = run_shards(coerced, jobs=jobs, start_method=start_method)
+    shards, mode, fallback_reason = run_shards(
+        coerced, jobs=jobs, start_method=start_method, group_by_program=group_by_program
+    )
     wall = time.perf_counter() - started
     return merge_shards(
         shards, jobs=jobs, mode=mode, wall_seconds=wall, fallback_reason=fallback_reason

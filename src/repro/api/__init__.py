@@ -1,0 +1,13 @@
+"""Session-oriented public API: compile once, query many times.
+
+:class:`AnalysisSession` owns the compiled artifacts of one program
+(validated AST, CFG, encoder, per-algorithm symbolic backends, template
+BDDs, compiled query plans, retained fixed-point interpretations) and
+answers repeated reachability queries against them; :class:`SessionSpec`
+is its picklable plain-data form for shipping into worker processes.  See
+:mod:`repro.api.session` for the per-algorithm reuse matrix.
+"""
+
+from .session import AnalysisSession, SessionSpec, SolveInfo
+
+__all__ = ["AnalysisSession", "SessionSpec", "SolveInfo"]

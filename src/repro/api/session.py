@@ -1,0 +1,633 @@
+"""Compile-once / query-many analysis sessions.
+
+GETAFIX's Figure 1 pipeline is a staged compiler — translate the program
+into template relations, pick a fixed-point formula, evaluate it — but a
+monolithic ``run_sequential(program, targets)`` call re-runs every stage per
+query.  An :class:`AnalysisSession` owns the compiled artifacts of ONE
+program for its whole lifetime and answers many reachability queries
+against them, in the style of incremental solver interfaces (persistent
+solver state, cheap repeated queries):
+
+* **Built once at construction** — static validation (``check_program``),
+  the CFG, the :class:`~repro.encode.templates.SequentialEncoder`.
+* **Built once per algorithm** (lazily) — the
+  :class:`~repro.algorithms.common.AlgorithmSpec`, a private
+  :class:`~repro.fixedpoint.symbolic.SymbolicBackend` (its own
+  ``BddManager``), the six target-independent template BDDs and the
+  compiled query plan.
+* **Built once per (algorithm, target-signature)** — the ``Target``
+  template BDD.  The *signature* of a query is the sorted tuple of its
+  (module, pc) locations; repeated checks of the same signature reuse the
+  cached BDD.
+* **Retained across queries** — fixed-point interpretations, pinned via the
+  backend's retained-interpretation protocol
+  (:meth:`~repro.fixedpoint.symbolic.SymbolicBackend.retain` /
+  :meth:`~repro.fixedpoint.symbolic.SymbolicBackend.release`), so the
+  manager's mark-and-sweep collector treats them as external roots between
+  queries.
+
+Reuse matrix (what each algorithm can share between queries)
+------------------------------------------------------------
+All three sequential equation systems in this reproduction are
+*target-free*: ``Target`` is an input relation of the system but no
+equation body mentions it — only the reachability query does.  The summary
+fixed point is therefore target-independent and fully reusable:
+
+============  ==========================  =================================
+algorithm     retained summary (solve)    warm start from early-stopped run
+============  ==========================  =================================
+``summary``   yes — query post-pass       yes (monotone, simultaneous)
+``ef``        yes — query post-pass       yes (monotone, nested)
+``ef-opt``    yes — query post-pass       no — the ``Relevant`` frontier
+                                          relation is non-monotone, so a
+                                          partial iterate is not a sound
+                                          seed; compiled plans, templates
+                                          and Target BDDs are still reused
+============  ==========================  =================================
+
+``solve()`` computes the full fixed point (no early stop) and retains it;
+every later ``check(target)`` is then a query post-pass: encode (or fetch)
+the Target BDD, evaluate the compiled query plan under the retained
+interpretations, done.  Without a prior ``solve()``, ``check`` runs the
+classic per-target evaluation (early stop included) against the compiled
+artifacts; a run that reaches the fixed point anyway is promoted to the
+retained summary, and an early-stopped run of a *monotone* algorithm is
+retained as a warm-start seed — monotone Kleene iteration resumes exactly
+where the seed run left off, so no work is repeated.  A hypothetical
+target-dependent system (one whose equations mention ``Target``) is
+detected and never summary-cached or warm-started.
+
+``close()`` releases every compiled artifact and retained edge back to the
+manager; after a sweep the manager is at its empty baseline
+(``external_references() == 0``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..algorithms.engine import SEQUENTIAL_ALGORITHMS
+from ..algorithms.result import ReachabilityResult
+from ..bdd import BddError
+from ..boolprog import Program, build_cfg, check_program, parse_program
+from ..encode.templates import SequentialEncoder, TemplateSet
+from ..fixedpoint import evaluate_nested, evaluate_simultaneous
+from ..fixedpoint.evaluator import EvaluationResult
+from ..fixedpoint.symbolic import SymbolicBackend
+from ..frontends.getafix import TargetSpec, resolve_target_locations
+
+__all__ = ["AnalysisSession", "SessionSpec", "SolveInfo"]
+
+#: Algorithms whose evaluation is plain monotone Kleene iteration, making an
+#: early-stopped intermediate iterate a sound warm-start seed.
+WARM_START_ALGORITHMS = frozenset({"summary", "ef"})
+
+#: The target signature type: sorted, duplicate-free (module, pc) pairs.
+TargetSignature = Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Picklable description of a session, for shipping into workers.
+
+    A :class:`AnalysisSession` holds BDD managers, compiled plans and GC
+    hooks — none of which may cross a process boundary (see the ownership
+    contract in :mod:`repro.parallel.shards`).  A spec is the plain-data
+    form: program source (or a parsed, picklable
+    :class:`~repro.boolprog.Program`) plus construction options.  Workers
+    call :meth:`open` to build the real session locally.
+    """
+
+    program: Union[str, Program]
+    default_algorithm: str = "ef-opt"
+    validate: bool = True
+    max_iterations: int = 100_000
+
+    def open(self) -> "AnalysisSession":
+        """Build the session this spec describes (in the calling process)."""
+        return AnalysisSession(
+            self.program,
+            default_algorithm=self.default_algorithm,
+            validate=self.validate,
+            max_iterations=self.max_iterations,
+        )
+
+    def is_picklable(self) -> bool:
+        """Whether this spec can cross a process boundary."""
+        try:
+            pickle.dumps(self)
+            return True
+        except Exception:
+            return False
+
+
+@dataclass
+class SolveInfo:
+    """Outcome of :meth:`AnalysisSession.solve` (the retained fixed point)."""
+
+    algorithm: str
+    iterations: int
+    equation_evaluations: int
+    elapsed_seconds: float
+    reused: bool = False
+    warm_started: bool = False
+
+
+@dataclass
+class _Retained:
+    """A retained set of fixed-point interpretations (edges are pinned).
+
+    ``summary_nodes``/``summary_states`` memoise the target relation's BDD
+    size and tuple count: they are identical for every post-pass query of
+    one solve, and recounting would walk the (possibly large) summary BDD
+    per check.
+    """
+
+    interps: Dict[str, int]
+    iterations: int
+    equation_evaluations: int
+    elapsed_seconds: float
+    signature: Optional[TargetSignature] = None
+    summary_nodes: Optional[int] = None
+    summary_states: Optional[int] = None
+
+
+class _AlgorithmState:
+    """Everything the session compiled for one algorithm (private manager)."""
+
+    def __init__(self, session: "AnalysisSession", algorithm: str) -> None:
+        self.algorithm = algorithm
+        started = time.perf_counter()
+        self.spec = SEQUENTIAL_ALGORITHMS[algorithm](session.encoder)
+        self.backend = SymbolicBackend(self.spec.system)
+        self.base: TemplateSet = session.encoder.encode_base(self.backend)
+        self.base_interps: Dict[str, int] = self.base.interps()
+        for edge in self.base_interps.values():
+            self.backend.retain(edge)
+        self.query_plan = self.backend.compile_formula(self.spec.query)
+        self.encode_seconds = time.perf_counter() - started
+        # Target BDDs keyed by target signature; the session's public cache
+        # key is therefore (algorithm, signature) — this state IS the
+        # algorithm half of the key.
+        self.target_cache: Dict[TargetSignature, int] = {}
+        # A system is summary-cacheable only if no equation body mentions
+        # Target (true for all three shipped algorithms).
+        self.target_free = not any(
+            "Target" in self.spec.system.equation(name).referenced_relations()
+            for name in self.spec.system.equations
+        )
+        self.solved: Optional[_Retained] = None
+        self.partial: Optional[_Retained] = None
+        self.solve_count = 0
+        self.query_count = 0
+        self.reused_query_count = 0
+
+    # -- artifacts -------------------------------------------------------
+    def target_edge(self, encoder: SequentialEncoder, signature: TargetSignature) -> int:
+        edge = self.target_cache.get(signature)
+        if edge is None:
+            edge = encoder.encode_target(self.backend, list(signature))
+            self.backend.retain(edge)
+            self.target_cache[signature] = edge
+        return edge
+
+    def query_holds(self, interps: Mapping[str, int]) -> bool:
+        return self.query_plan.eval(self.backend, interps) == self.backend.manager.TRUE
+
+    def retain_interps(self, result: EvaluationResult, *, iterations: int,
+                       equation_evaluations: int, elapsed_seconds: float,
+                       signature: Optional[TargetSignature]) -> _Retained:
+        interps = {
+            name: edge
+            for name, edge in result.interpretations.items()
+            if name in self.spec.system.equations
+        }
+        for edge in interps.values():
+            self.backend.retain(edge)
+        return _Retained(
+            interps=interps,
+            iterations=iterations,
+            equation_evaluations=equation_evaluations,
+            elapsed_seconds=elapsed_seconds,
+            signature=signature,
+        )
+
+    def drop_retained(self, retained: Optional[_Retained]) -> None:
+        if retained is None:
+            return
+        for edge in retained.interps.values():
+            self.backend.release(edge)
+
+    def close(self) -> None:
+        """Release every artifact; the manager returns to its baseline."""
+        self.drop_retained(self.solved)
+        self.drop_retained(self.partial)
+        self.solved = self.partial = None
+        self.target_cache.clear()
+        self.backend.close()
+        self.backend.context.clear_caches()
+
+
+class AnalysisSession:
+    """A program-scoped analysis session: compile once, query many times.
+
+    Parameters
+    ----------
+    program:
+        Source text or an already-parsed sequential
+        :class:`~repro.boolprog.Program`.
+    default_algorithm:
+        The algorithm used when ``solve``/``check`` are called without one.
+    validate:
+        Run ``check_program`` once, at construction (never again per query).
+    max_iterations:
+        Outer-iteration budget passed to the fixed-point evaluators.
+
+    Sessions are context managers; leaving the ``with`` block closes them.
+    """
+
+    def __init__(
+        self,
+        program: Union[str, Program],
+        *,
+        default_algorithm: str = "ef-opt",
+        validate: bool = True,
+        max_iterations: int = 100_000,
+    ) -> None:
+        if default_algorithm not in SEQUENTIAL_ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {default_algorithm!r}; "
+                f"choose one of {sorted(SEQUENTIAL_ALGORITHMS)}"
+            )
+        self.program = program if isinstance(program, Program) else parse_program(program)
+        self.default_algorithm = default_algorithm
+        self.max_iterations = max_iterations
+        self.validations = 0
+        if validate:
+            check_program(self.program)
+            self.validations = 1
+        self.cfg = build_cfg(self.program)
+        self.encoder = SequentialEncoder(self.cfg)
+        self._states: Dict[str, _AlgorithmState] = {}
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release every compiled artifact of every algorithm (idempotent).
+
+        After a close (plus a sweep), each algorithm's manager is back at
+        its empty baseline: zero external references, zero live nodes.
+        """
+        if self._closed:
+            return
+        for state in self._states.values():
+            state.close()
+        self._states.clear()
+        self._closed = True
+
+    def _state(self, algorithm: Optional[str]) -> _AlgorithmState:
+        if self._closed:
+            raise RuntimeError("the analysis session is closed")
+        name = algorithm or self.default_algorithm
+        if name not in SEQUENTIAL_ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {name!r}; choose one of {sorted(SEQUENTIAL_ALGORITHMS)}"
+            )
+        state = self._states.get(name)
+        if state is None:
+            state = _AlgorithmState(self, name)
+            self._states[name] = state
+        return state
+
+    # -- queries ---------------------------------------------------------
+    def resolve(self, target: TargetSpec) -> List[Tuple[int, int]]:
+        """Resolve a friendly target spec against this session's CFG."""
+        return resolve_target_locations(self.cfg, target)
+
+    @staticmethod
+    def _signature(locations: Sequence[Tuple[int, int]]) -> TargetSignature:
+        return tuple(sorted(set((int(m), int(p)) for m, p in locations)))
+
+    def solve(self, algorithm: Optional[str] = None) -> SolveInfo:
+        """Compute and retain the target-independent summary fixed point.
+
+        Runs the algorithm's equation system to its full fixed point (no
+        early stop — there is no target yet) and pins the resulting
+        interpretations; subsequent :meth:`check` calls become query
+        post-passes.  Idempotent: a second solve returns the retained
+        result.  For the ``summary`` algorithm this is the once-per-program
+        solve of the paper's baseline; monotone algorithms warm-start from
+        a retained early-stopped iterate when one exists.
+        """
+        state = self._state(algorithm)
+        if state.solved is not None:
+            retained = state.solved
+            return SolveInfo(
+                algorithm=state.algorithm,
+                iterations=retained.iterations,
+                equation_evaluations=retained.equation_evaluations,
+                elapsed_seconds=retained.elapsed_seconds,
+                reused=True,
+            )
+        if not state.target_free:
+            raise ValueError(
+                f"algorithm {state.algorithm!r} bakes Target into its equations; "
+                "it has no target-independent summary to solve for"
+            )
+        seed = None
+        base_iterations = 0
+        base_evaluations = 0
+        if state.partial is not None and state.algorithm in WARM_START_ALGORITHMS:
+            seed = state.partial.interps
+            base_iterations = state.partial.iterations
+            base_evaluations = state.partial.equation_evaluations
+        evaluation = self._evaluate(state, stop=None, seed=seed)
+        state.solve_count += 1
+        solved = state.retain_interps(
+            evaluation,
+            iterations=base_iterations + evaluation.iterations,
+            equation_evaluations=base_evaluations + evaluation.equation_evaluations,
+            elapsed_seconds=evaluation.elapsed_seconds,
+            signature=None,
+        )
+        state.drop_retained(state.partial)
+        state.partial = None
+        state.solved = solved
+        return SolveInfo(
+            algorithm=state.algorithm,
+            iterations=solved.iterations,
+            equation_evaluations=solved.equation_evaluations,
+            elapsed_seconds=solved.elapsed_seconds,
+            warm_started=seed is not None,
+        )
+
+    def check(
+        self,
+        target: TargetSpec,
+        algorithm: Optional[str] = None,
+        early_stop: bool = True,
+    ):
+        """Answer one reachability query against the compiled artifacts.
+
+        With a retained summary (after :meth:`solve`, or after a query that
+        ran to the fixed point anyway) this is a pure post-pass: fetch the
+        Target BDD, evaluate the compiled query plan — no fixed-point
+        iteration at all.  Otherwise the classic per-target evaluation runs,
+        warm-started for monotone algorithms when a partial iterate is
+        retained.  Returns a
+        :class:`~repro.algorithms.ReachabilityResult` whose ``details``
+        carry the session reuse flags (``reused_solve``, ``warm_start``).
+        """
+        started = time.perf_counter()
+        state = self._state(algorithm)
+        locations = self.resolve(target)
+        signature = self._signature(locations)
+        state.query_count += 1
+        encode_start = time.perf_counter()
+        cached_target = signature in state.target_cache
+        target_node = state.target_edge(self.encoder, signature)
+        encode_seconds = 0.0 if cached_target else time.perf_counter() - encode_start
+        if state.query_count == 1:
+            # The state's first query also paid for the base templates and
+            # the compiled query plan; account them here so a fresh-session
+            # wrapper reports the same encode cost the monolithic engine did.
+            encode_seconds += state.encode_seconds
+        inputs = dict(state.base_interps)
+        inputs["Target"] = target_node
+
+        if state.solved is not None:
+            state.reused_query_count += 1
+            eval_start = time.perf_counter()
+            merged = dict(inputs)
+            merged.update(state.solved.interps)
+            reachable = state.query_holds(merged)
+            # Post-pass safe point: the evaluators' gc_step never runs on
+            # this path, and a long-lived session answering many targets
+            # would otherwise grow its node table monotonically.  Every
+            # edge the session still needs is retained (an external GC
+            # root), so no extra roots are required.
+            state.backend.gc_step(())
+            elapsed = time.perf_counter() - eval_start
+            summary_node = state.solved.interps[state.spec.target_relation]
+            if state.solved.summary_nodes is None:
+                state.solved.summary_nodes = state.backend.manager.node_count(summary_node)
+                state.solved.summary_states = self._count_states(state, summary_node)
+            return self._result(
+                state,
+                reachable=reachable,
+                iterations=state.solved.iterations,
+                equation_evaluations=state.solved.equation_evaluations,
+                summary_node=summary_node,
+                summary_nodes=state.solved.summary_nodes,
+                summary_states=state.solved.summary_states,
+                elapsed_seconds=elapsed,
+                encode_seconds=encode_seconds,
+                total_seconds=time.perf_counter() - started,
+                stopped_early=False,
+                locations=locations,
+                reused_solve=True,
+                warm_start=False,
+            )
+
+        # Fresh (or warm-started) per-target evaluation over the compiled
+        # plans and template BDDs.
+        stop = None
+        if early_stop:
+            def stop(interps: Mapping[str, int], _inputs=inputs, _state=state) -> bool:
+                merged = dict(_inputs)
+                merged.update(interps)
+                return _state.query_holds(merged)
+
+        seed = None
+        base_iterations = 0
+        base_evaluations = 0
+        if (
+            state.partial is not None
+            and state.algorithm in WARM_START_ALGORITHMS
+            and state.target_free
+        ):
+            seed = state.partial.interps
+            base_iterations = state.partial.iterations
+            base_evaluations = state.partial.equation_evaluations
+        evaluation = self._evaluate(state, stop=stop, seed=seed, inputs=inputs)
+        merged = dict(inputs)
+        merged.update(evaluation.interpretations)
+        reachable = state.query_holds(merged)
+        summary_node = evaluation.interpretations[state.spec.target_relation]
+        iterations = base_iterations + evaluation.iterations
+        evaluations = base_evaluations + evaluation.equation_evaluations
+
+        retainable = state.target_free and (
+            not evaluation.stopped_early or state.algorithm in WARM_START_ALGORITHMS
+        )
+        if retainable:
+            retained = state.retain_interps(
+                evaluation,
+                iterations=iterations,
+                equation_evaluations=evaluations,
+                elapsed_seconds=evaluation.elapsed_seconds,
+                signature=signature,
+            )
+            # Retain-new before drop-old: the new iterate may share edges
+            # with the superseded one.
+            state.drop_retained(state.partial)
+            state.partial = None
+            if not evaluation.stopped_early:
+                # The run reached the full fixed point: promote it to the
+                # retained summary — later checks become post-passes.
+                state.solve_count += 1
+                state.solved = retained
+            else:
+                # An intermediate monotone iterate: keep it as the seed the
+                # next query resumes from.
+                state.partial = retained
+
+        return self._result(
+            state,
+            reachable=reachable,
+            iterations=iterations,
+            equation_evaluations=evaluations,
+            summary_node=summary_node,
+            elapsed_seconds=evaluation.elapsed_seconds,
+            encode_seconds=encode_seconds,
+            total_seconds=time.perf_counter() - started,
+            stopped_early=evaluation.stopped_early,
+            locations=locations,
+            reused_solve=False,
+            warm_start=seed is not None,
+        )
+
+    def check_all(
+        self,
+        targets: Sequence[TargetSpec],
+        algorithm: Optional[str] = None,
+        early_stop: bool = True,
+        solve_first: bool = True,
+    ) -> List:
+        """Answer a batch of queries, amortising one solve across them.
+
+        With ``solve_first`` (the default) and more than one target, the
+        summary fixed point is solved once up front and every query is a
+        post-pass — the compile-once/query-many fast path.  Verdicts are
+        identical to fresh per-target runs; iteration counts equal those of
+        a fresh full (``early_stop=False``) evaluation, which is
+        target-independent for target-free systems.
+        """
+        targets = list(targets)
+        state = self._state(algorithm)
+        if solve_first and state.target_free and len(targets) > 1 and state.solved is None:
+            self.solve(state.algorithm)
+        return [
+            self.check(target, algorithm=state.algorithm, early_stop=early_stop)
+            for target in targets
+        ]
+
+    # -- bookkeeping ------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Session-level reuse counters, per compiled algorithm."""
+        return {
+            "validations": self.validations,
+            "algorithms": {
+                name: {
+                    "solves": state.solve_count,
+                    "queries": state.query_count,
+                    "reused_queries": state.reused_query_count,
+                    "cached_targets": len(state.target_cache),
+                    "retained_edges": state.backend.retained_count(),
+                }
+                for name, state in self._states.items()
+            },
+        }
+
+    # -- internals --------------------------------------------------------
+    def _evaluate(
+        self,
+        state: _AlgorithmState,
+        stop,
+        seed: Optional[Mapping[str, int]] = None,
+        inputs: Optional[Dict[str, int]] = None,
+    ) -> EvaluationResult:
+        if inputs is None:
+            # A solve has no target: Target is an input of the system but no
+            # equation of a target-free system reads it, so FALSE suffices.
+            inputs = dict(state.base_interps)
+            inputs["Target"] = state.backend.manager.FALSE
+        evaluate = (
+            evaluate_nested if state.spec.evaluation == "nested" else evaluate_simultaneous
+        )
+        return evaluate(
+            state.spec.system,
+            state.spec.target_relation,
+            state.backend,
+            inputs,
+            max_iterations=self.max_iterations,
+            stop=stop,
+            seed=seed,
+        )
+
+    @staticmethod
+    def _count_states(state: _AlgorithmState, summary_node: int) -> Optional[int]:
+        """Tuple count of the target relation via signed-edge count_sat."""
+        try:
+            decl = state.spec.system.equation(state.spec.target_relation).decl
+            return state.backend.count(summary_node, decl)
+        except (BddError, KeyError):
+            return None
+
+    def _result(
+        self,
+        state: _AlgorithmState,
+        *,
+        reachable: bool,
+        iterations: int,
+        equation_evaluations: int,
+        summary_node: int,
+        elapsed_seconds: float,
+        encode_seconds: float,
+        total_seconds: float,
+        stopped_early: bool,
+        locations: Sequence[Tuple[int, int]],
+        reused_solve: bool,
+        warm_start: bool,
+        summary_nodes: Optional[int] = None,
+        summary_states: Optional[int] = None,
+    ) -> ReachabilityResult:
+        manager = state.backend.manager
+        if summary_nodes is None:
+            summary_nodes = manager.node_count(summary_node)
+            summary_states = self._count_states(state, summary_node)
+        return ReachabilityResult(
+            reachable=reachable,
+            algorithm=f"getafix-{state.spec.name}",
+            iterations=iterations,
+            equation_evaluations=equation_evaluations,
+            summary_nodes=summary_nodes,
+            summary_states=summary_states,
+            elapsed_seconds=elapsed_seconds,
+            encode_seconds=encode_seconds,
+            total_seconds=total_seconds,
+            stopped_early=stopped_early,
+            details={
+                "bdd_variables": manager.num_vars,
+                "bdd_live_nodes": len(manager),
+                "target_locations": list(locations),
+                "evaluation_mode": state.spec.evaluation,
+                "reused_solve": reused_solve,
+                "warm_start": warm_start,
+                "target_signature": list(self._signature(locations)),
+            },
+            stats=state.backend.stats_snapshot(),
+        )

@@ -91,10 +91,21 @@ class SequentialEncoder:
         ``target_locations`` is the list of (module index, pc) pairs whose
         reachability is being asked about.
         """
-        self._backend = backend
-        self._manager = backend.manager
-        self._context = backend.context
-        self._choices = ChoicePool(self._manager)
+        templates = self.encode_base(backend)
+        templates.interpretations["Target"] = self.encode_target(backend, target_locations)
+        return templates
+
+    def encode_base(self, backend: SymbolicBackend) -> TemplateSet:
+        """Build the six *target-independent* template BDDs.
+
+        Everything the program itself determines — ``ProgramInt``,
+        ``IntoCall``, ``Return``, ``Entry``, ``Exit``, ``Init`` — is encoded
+        here; only ``Target`` depends on the query, so a compile-once /
+        query-many session encodes this base a single time and calls
+        :meth:`encode_target` per query.  The returned set has no ``Target``
+        interpretation (its declaration is still listed).
+        """
+        self._bind(backend)
         interpretations = {
             "ProgramInt": self._encode_internal(),
             "IntoCall": self._encode_into_call(),
@@ -102,7 +113,6 @@ class SequentialEncoder:
             "Entry": self._encode_entry(),
             "Exit": self._encode_exit(),
             "Init": self._encode_init(),
-            "Target": self._encode_target(target_locations),
         }
         return TemplateSet(
             space=self.space,
@@ -111,6 +121,21 @@ class SequentialEncoder:
             module_index=dict(self.cfg.module_index),
             main_module=self.cfg.module_of(self.cfg.program.main),
         )
+
+    def encode_target(
+        self,
+        backend: SymbolicBackend,
+        target_locations: Sequence[Tuple[int, int]],
+    ) -> int:
+        """Build just the ``Target`` BDD for one query's locations."""
+        self._bind(backend)
+        return self._encode_target(target_locations)
+
+    def _bind(self, backend: SymbolicBackend) -> None:
+        self._backend = backend
+        self._manager = backend.manager
+        self._context = backend.context
+        self._choices = ChoicePool(self._manager)
 
     # ------------------------------------------------------------------
     # Canonical state variables

@@ -99,6 +99,7 @@ def evaluate_nested(
     inputs: Mapping[str, Any],
     max_iterations: int = 10_000,
     stop: Optional[Callable[[Mapping[str, Any]], bool]] = None,
+    seed: Optional[Mapping[str, Any]] = None,
 ) -> EvaluationResult:
     """Evaluate ``target`` using the paper's nested ``Evaluate`` algorithm.
 
@@ -121,6 +122,12 @@ def evaluate_nested(
         iteration of the *target* relation with the current interpretations;
         returning True ends the evaluation (used for "stop as soon as the goal
         is known reachable").
+    seed:
+        Optional warm-start interpretation of the *target* relation (inner
+        relations still restart from empty, as the nested semantics demands).
+        Sound only when the seed is an intermediate Kleene iterate of a
+        monotone system — iteration then resumes exactly where the seed run
+        left off; the session layer enforces the monotonicity restriction.
     """
     missing = set(system.inputs) - set(inputs)
     if missing:
@@ -140,6 +147,8 @@ def evaluate_nested(
     def evaluate(name: str, fixed: Dict[str, Any], depth: int) -> Any:
         equation = system.equation(name)
         current = backend.empty(equation.decl)
+        if depth == 0 and seed is not None and name in seed:
+            current = seed[name]
         iterations = 0
         while True:
             iterations += 1
@@ -205,13 +214,17 @@ def evaluate_simultaneous(
     inputs: Mapping[str, Any],
     max_iterations: int = 10_000,
     stop: Optional[Callable[[Mapping[str, Any]], bool]] = None,
+    seed: Optional[Mapping[str, Any]] = None,
 ) -> EvaluationResult:
     """Evaluate all equations by simultaneous (chaotic) iteration.
 
-    All defined relations start empty and are re-evaluated in declaration
-    order until none of them changes.  This is the textbook Knaster–Tarski
-    iteration and computes the least fixed point for monotone systems; it is
-    *not* appropriate for the non-monotone optimised entry-forward algorithm.
+    All defined relations start empty (or from ``seed``, a warm-start
+    interpretation that must be an intermediate iterate of the same monotone
+    system — iteration then resumes the seed run's Kleene sequence) and are
+    re-evaluated in declaration order until none of them changes.  This is
+    the textbook Knaster–Tarski iteration and computes the least fixed point
+    for monotone systems; it is *not* appropriate for the non-monotone
+    optimised entry-forward algorithm.
     """
     missing = set(system.inputs) - set(inputs)
     if missing:
@@ -221,7 +234,10 @@ def evaluate_simultaneous(
     start = time.perf_counter()
     interpretations: Dict[str, Any] = dict(inputs)
     for name, equation in system.equations.items():
-        interpretations[name] = backend.empty(equation.decl)
+        if seed is not None and name in seed:
+            interpretations[name] = seed[name]
+        else:
+            interpretations[name] = backend.empty(equation.decl)
     iterations = 0
     evaluations = 0
     stopped_early = False

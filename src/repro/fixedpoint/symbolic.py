@@ -473,6 +473,9 @@ class SymbolicBackend:
         # counts of the static edges protected for plan lifetime.
         self._plan_memos: Dict[int, Dict[Tuple[int, ...], int]] = {}
         self._protected: Dict[int, int] = {}
+        # Retained-interpretation protocol: reference counts of interpretation
+        # edges a session keeps alive *across* queries (see retain/release).
+        self._retained: Dict[int, int] = {}
         self.gc_steps = 0
         self.gc_collections = 0
         self.manager.add_gc_hook(self._clear_plan_memos)
@@ -625,6 +628,48 @@ class SymbolicBackend:
         for memo in self._plan_memos.values():
             memo.clear()
 
+    # -- retained interpretations -------------------------------------------
+    #
+    # The session API keeps fixed-point interpretations (and per-target
+    # template relations) alive *between* queries.  Evaluators only hand out
+    # unprotected edges, so a session must pin them explicitly; routing the
+    # pin through the backend (instead of raw ``manager.ref``) keeps the
+    # bookkeeping in one place, makes :meth:`close` release *everything* the
+    # backend ever protected — static skeletons and retained interpretations
+    # alike — and is GC-hook-safe: a retained edge is an external root for
+    # mark-and-sweep, while the plan memos that may mention it are cleared by
+    # the registered GC hook whenever a sweep reclaims nodes.
+
+    def retain(self, edge: int) -> int:
+        """GC-protect an interpretation edge across queries.
+
+        Returns the edge for call chaining.  Balanced by :meth:`release`;
+        :meth:`close` releases any outstanding retentions.
+        """
+        self.manager.ref(edge)
+        self._retained[edge] = self._retained.get(edge, 0) + 1
+        return edge
+
+    def release(self, edge: int) -> None:
+        """Undo one :meth:`retain` of ``edge`` (no-op when not retained).
+
+        The count guard mirrors :meth:`_release_plan`: releasing an edge this
+        backend no longer tracks must not deref a reference that by now
+        belongs to another owner.
+        """
+        count = self._retained.get(edge, 0)
+        if count <= 0:
+            return
+        self.manager.deref(edge)
+        if count == 1:
+            del self._retained[edge]
+        else:
+            self._retained[edge] = count - 1
+
+    def retained_count(self) -> int:
+        """Number of distinct interpretation edges currently retained."""
+        return len(self._retained)
+
     # -- garbage collection ------------------------------------------------
     def gc_step(self, roots: Iterable[int]) -> bool:
         """Safe-point collection trigger for evaluators.
@@ -660,17 +705,25 @@ class SymbolicBackend:
         """Detach this backend from its manager (idempotent).
 
         Unregisters the GC hook and dereferences every protected static
-        skeleton, making the backend's nodes collectable.  Required only
-        when the manager outlives the backend — i.e. several backends share
-        one :class:`SymbolicContext`; the per-run engines drop manager and
-        backend together and never need it.  A closed backend must not be
-        used for further evaluation.
+        skeleton *and* every retained interpretation edge (see
+        :meth:`retain`), making the backend's nodes collectable — after a
+        close plus a sweep, the manager's live-node count and external
+        references are back to what they were before this backend existed.
+        Required only when the manager outlives the backend — i.e. several
+        backends share one :class:`SymbolicContext`, or a session releases
+        its compiled artifacts; the per-run engines drop manager and backend
+        together and never need it.  A closed backend must not be used for
+        further evaluation.
         """
         self.manager.remove_gc_hook(self._clear_plan_memos)
         for node, count in self._protected.items():
             for _ in range(count):
                 self.manager.deref(node)
         self._protected.clear()
+        for node, count in self._retained.items():
+            for _ in range(count):
+                self.manager.deref(node)
+        self._retained.clear()
         self._clear_plan_memos()
         self._plan_memos.clear()
         self._equation_plans.clear()
@@ -686,6 +739,7 @@ class SymbolicBackend:
             "compiled_equations": len(self._equation_plans),
             "compiled_plans": len(self._plan_memos),
             "protected_nodes": len(self._protected),
+            "retained_edges": len(self._retained),
             "gc_steps": self.gc_steps,
             "gc_collections": self.gc_collections,
             "manager": self.manager.stats(),

@@ -1,12 +1,18 @@
 """Tool front ends: the GETAFIX checker API and command-line interface."""
 
-from .getafix import check_concurrent_reachability, check_reachability, resolve_target
+from .getafix import (
+    check_concurrent_reachability,
+    check_reachability,
+    resolve_target,
+    resolve_target_locations,
+)
 from .cli import build_arg_parser, main
 
 __all__ = [
     "check_concurrent_reachability",
     "check_reachability",
     "resolve_target",
+    "resolve_target_locations",
     "build_arg_parser",
     "main",
 ]

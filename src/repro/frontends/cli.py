@@ -12,7 +12,12 @@ one-result summary.  Several files and/or several ``--target`` options form
 a *batch*: every (file, target) pair becomes one query, fanned out over
 ``--jobs`` worker processes (each with a private BDD manager; see
 :mod:`repro.parallel`), and the merged table reports per-shard kernel/GC
-statistics plus the batch speedup.
+statistics plus the batch speedup.  Queries on the same file with the same
+algorithm share ONE analysis session per shard (validate/encode/solve once,
+answer every target as a post-pass; see :mod:`repro.api`), so
+``getafix prog.bp --target a --target b --target c`` compiles ``prog.bp``
+exactly once; the ``reuse`` column / ``reused_solve`` JSON field records
+which queries rode the shared solve.
 """
 
 from __future__ import annotations
@@ -95,6 +100,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for batch invocations; each query gets its own "
         "BDD manager (default: 1 = sequential)",
+    )
+    parser.add_argument(
+        "--no-group",
+        action="store_true",
+        help="disable per-program session grouping: every (file, target) pair "
+        "gets its own shard and solve (restores the strict one-query-per-shard "
+        "fan-out, e.g. to parallelise many targets on one file across --jobs)",
     )
     parser.add_argument("--json", action="store_true", help="emit the result as JSON")
     return parser
@@ -186,7 +198,7 @@ def _run_batch(args: argparse.Namespace, prepared: List[tuple]) -> int:
                     early_stop=not args.no_early_stop,
                 )
             )
-    report = run_batch(queries, jobs=args.jobs)
+    report = run_batch(queries, jobs=args.jobs, group_by_program=not args.no_group)
     if args.json:
         print(
             json.dumps(
@@ -196,6 +208,8 @@ def _run_batch(args: argparse.Namespace, prepared: List[tuple]) -> int:
                     "wall_seconds": report.wall_seconds,
                     "shard_seconds": report.shard_seconds,
                     "speedup": report.speedup,
+                    "queries_per_solve": report.queries_per_solve,
+                    "reused_solves": report.reused_count,
                     "shards": report.rows(),
                 },
                 indent=2,

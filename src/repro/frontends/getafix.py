@@ -26,7 +26,12 @@ from ..boolprog import (
 )
 from ..encode.concurrent import ConcurrentEncoder
 
-__all__ = ["check_reachability", "check_concurrent_reachability", "resolve_target"]
+__all__ = [
+    "check_reachability",
+    "check_concurrent_reachability",
+    "resolve_target",
+    "resolve_target_locations",
+]
 
 TargetSpec = Union[str, Sequence[Tuple[int, int]], Sequence[str]]
 
@@ -45,7 +50,16 @@ def _as_concurrent(program: Union[str, ConcurrentProgram]) -> ConcurrentProgram:
 
 def resolve_target(program: Program, target: TargetSpec) -> List[Tuple[int, int]]:
     """Turn a friendly target specification into (module, pc) pairs."""
-    cfg = build_cfg(program)
+    return resolve_target_locations(build_cfg(program), target)
+
+
+def resolve_target_locations(cfg, target: TargetSpec) -> List[Tuple[int, int]]:
+    """Resolve a target spec against an already-built :class:`ProgramCfg`.
+
+    Sessions resolve many targets against one program; taking the CFG
+    directly avoids rebuilding it per query (see
+    :class:`repro.api.AnalysisSession`).
+    """
     if isinstance(target, str):
         targets: List[str] = [target]
     elif target and isinstance(target[0], str):

@@ -7,13 +7,22 @@ The high-level entry point is :func:`repro.algorithms.run_batch`.
 """
 
 from .merge import BatchReport, merge_shards
-from .shards import BatchQuery, ShardResult, run_shard, run_shards
+from .shards import (
+    BatchQuery,
+    ShardResult,
+    group_queries,
+    run_shard,
+    run_shard_group,
+    run_shards,
+)
 
 __all__ = [
     "BatchQuery",
     "BatchReport",
     "ShardResult",
+    "group_queries",
     "merge_shards",
     "run_shard",
+    "run_shard_group",
     "run_shards",
 ]

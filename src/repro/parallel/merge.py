@@ -51,6 +51,30 @@ class BatchReport:
         return sum(shard.elapsed_seconds for shard in self.shards)
 
     @property
+    def solve_count(self) -> int:
+        """Queries that paid for their own fixed-point solve.
+
+        A query answered as a post-pass over a session's retained summary
+        has ``reused_solve`` set and does not count; a batch with no
+        program-sharing groups therefore reports one solve per query.
+        """
+        return sum(1 for shard in self.shards if shard.ok and not shard.reused_solve)
+
+    @property
+    def reused_count(self) -> int:
+        """Queries answered from an already-solved session (reuse wins)."""
+        return sum(1 for shard in self.shards if shard.ok and shard.reused_solve)
+
+    @property
+    def queries_per_solve(self) -> float:
+        """Amortisation factor of the per-shard session reuse (>= 1.0)."""
+        answered = sum(1 for shard in self.shards if shard.ok)
+        solves = self.solve_count
+        if solves == 0:
+            return float(answered) if answered else 1.0
+        return answered / solves
+
+    @property
     def speedup(self) -> float:
         """Shard-time over batch wall time: > 1 means the fan-out paid off."""
         if self.wall_seconds <= 0.0:
@@ -85,7 +109,7 @@ class BatchReport:
         """Plain-text table: one row per shard, optional kernel stat columns."""
         header = (
             f"{'query':32s}  {'verdict':>7s}  {'iters':>6s}  {'nodes':>8s}  "
-            f"{'live':>7s}  {'gc':>3s}  {'time (s)':>8s}  {'pid':>7s}"
+            f"{'live':>7s}  {'gc':>3s}  {'reuse':>5s}  {'time (s)':>8s}  {'pid':>7s}"
         )
         lines = [header, "-" * len(header)]
         for shard in self.shards:
@@ -103,12 +127,13 @@ class BatchReport:
                 f"{result.summary_nodes:8d}  "
                 f"{live if live is not None else 0:7d}  "
                 f"{gc if gc is not None else 0:3d}  "
+                f"{'yes' if shard.reused_solve else 'no':>5s}  "
                 f"{shard.elapsed_seconds:8.2f}  {shard.pid:7d}"
             )
         lines.append(
             f"batch: mode={self.mode} jobs={self.jobs} workers={len(self.worker_pids())} "
             f"wall={self.wall_seconds:.2f}s shard-total={self.shard_seconds:.2f}s "
-            f"speedup={self.speedup:.2f}x"
+            f"speedup={self.speedup:.2f}x queries/solve={self.queries_per_solve:.2f}"
         )
         if self.fallback_reason:
             lines.append(f"fallback: {self.fallback_reason}")
@@ -142,9 +167,11 @@ class BatchReport:
                     algorithm=result.algorithm,
                     iterations=result.iterations,
                     summary_nodes=result.summary_nodes,
+                    summary_states=result.summary_states,
                     total_seconds=result.total_seconds,
                     live_nodes=shard.live_nodes(),
                     gc_collections=shard.gc_collections(),
+                    reused_solve=shard.reused_solve,
                 )
             else:
                 row["error"] = shard.error

@@ -25,6 +25,20 @@ Ownership contract
   when the batch cannot be pickled, or when the platform refuses to start a
   pool, it degrades to an in-process sequential loop with identical
   semantics (same results, same ordering, errors captured the same way).
+
+Interpretation exchange (per-shard session reuse)
+-------------------------------------------------
+Queries that target *the same program* with the same algorithm no longer
+each rebuild the solver stack: :func:`run_shards` groups them (see
+``group_by_program``) and ships each multi-query group to
+:func:`run_shard_group`, which opens ONE
+:class:`repro.api.AnalysisSession` in the worker, solves the
+target-independent summary fixed point once and answers every target of
+the group as a query post-pass over the retained interpretations.  This is
+how fixed-point summaries are shared across queries: *within* a shard,
+through the session; never *across* process boundaries — the ownership
+contract above is unchanged, and ``ShardResult.reused_solve`` records
+which queries rode an already-solved session.
 """
 
 from __future__ import annotations
@@ -33,11 +47,11 @@ import os
 import pickle
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..algorithms.result import ReachabilityResult
 
-__all__ = ["BatchQuery", "ShardResult", "run_shard", "run_shards"]
+__all__ = ["BatchQuery", "ShardResult", "run_shard", "run_shard_group", "run_shards"]
 
 
 @dataclass
@@ -89,6 +103,10 @@ class ShardResult:
     process that ran the shard (the driver process itself in sequential
     mode) and ``elapsed_seconds`` is the shard-local wall clock, which a
     merged report compares against the batch wall clock to compute speedup.
+    ``reused_solve`` is True when the query was answered as a post-pass over
+    a session's already-solved fixed point instead of its own evaluation
+    (see :func:`run_shard_group`); the report's ``queries_per_solve``
+    aggregates it.
     """
 
     name: str
@@ -97,6 +115,7 @@ class ShardResult:
     pid: int = 0
     elapsed_seconds: float = 0.0
     expected: Optional[bool] = None
+    reused_solve: bool = False
 
     @property
     def ok(self) -> bool:
@@ -171,6 +190,145 @@ def run_shard(query: BatchQuery) -> ShardResult:
         )
 
 
+def run_shard_group(queries: Sequence[BatchQuery]) -> List[ShardResult]:
+    """Worker entry point for a group of queries on ONE program.
+
+    A singleton group degrades to :func:`run_shard` (no session overhead
+    for one-off queries).  Larger groups open a single
+    :class:`repro.api.AnalysisSession`, which validates, builds the CFG,
+    encodes the templates and solves the summary fixed point once; every
+    query of the group is then answered against the retained
+    interpretations.  The first result of the group carries the solve
+    (``reused_solve=False``); the rest are post-passes
+    (``reused_solve=True``).  A session-construction failure (parse/type
+    error) fails every query of the group the same way each would have
+    failed alone.
+
+    Kernel-statistics caveat: grouped queries share one manager, and a
+    session's stats snapshots are cumulative, so the ``live``/``gc``
+    numbers of a grouped row describe the session *up to and including*
+    that query — not that query alone, as on singleton shards.  Summing
+    those columns across the rows of one group double-counts.
+    """
+    queries = list(queries)
+    if len(queries) == 1:
+        return [run_shard(queries[0])]
+    from ..api.session import SessionSpec
+
+    head = queries[0]
+    started = time.perf_counter()
+    try:
+        session = SessionSpec(
+            program=head.program, default_algorithm=head.algorithm
+        ).open()
+    except Exception as exc:  # noqa: BLE001 — group setup failure hits every query
+        error = f"{type(exc).__name__}: {exc}"
+        elapsed = time.perf_counter() - started
+        return [
+            ShardResult(
+                name=query.name,
+                error=error,
+                pid=os.getpid(),
+                elapsed_seconds=elapsed if index == 0 else 0.0,
+                expected=query.expected,
+            )
+            for index, query in enumerate(queries)
+        ]
+    # Session construction (parse/validate/CFG) is shared cost the singleton
+    # path would have timed inside run_shard; charge it — like the solve —
+    # to the group's first query so shard_seconds/speedup stay honest.
+    setup_seconds = time.perf_counter() - started
+    results: List[ShardResult] = []
+    try:
+        # Solve the target-independent summary once up front so EVERY query
+        # of the group — not just those after the first full fixed point —
+        # is a post-pass.  The first query carries the solve in its clock,
+        # the first *successful* query carries its attribution
+        # (reused_solve=False: it "paid" for the solve); failure to
+        # pre-solve (iteration budget, target-dependent system) degrades to
+        # the lazy per-query behaviour.
+        solve_seconds = 0.0
+        presolved = False
+        try:
+            solve_started = time.perf_counter()
+            session.solve(head.algorithm)
+            solve_seconds = time.perf_counter() - solve_started
+            presolved = True
+        except Exception:  # noqa: BLE001 — lazy checks may still succeed/report
+            pass
+        solve_attributed = not presolved
+        first_query_overhead = setup_seconds + solve_seconds
+        for index, query in enumerate(queries):
+            query_started = time.perf_counter()
+            try:
+                result = session.check(
+                    query.target, algorithm=query.algorithm, early_stop=query.early_stop
+                )
+                reused = bool(result.details.get("reused_solve"))
+                if not solve_attributed:
+                    reused = False
+                    solve_attributed = True
+                # Keep the two exposed reuse flags consistent: the result's
+                # details must agree with the shard-level attribution.
+                result.details["reused_solve"] = reused
+                results.append(
+                    ShardResult(
+                        name=query.name,
+                        result=result,
+                        pid=os.getpid(),
+                        elapsed_seconds=time.perf_counter()
+                        - query_started
+                        + (first_query_overhead if index == 0 else 0.0),
+                        expected=query.expected,
+                        reused_solve=reused,
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 — one bad target, not the group
+                results.append(
+                    ShardResult(
+                        name=query.name,
+                        error=f"{type(exc).__name__}: {exc}",
+                        pid=os.getpid(),
+                        # Index 0 still carries the setup/solve wall time so
+                        # the report's shard_seconds/speedup accounting does
+                        # not lose it when the first query errors.
+                        elapsed_seconds=time.perf_counter()
+                        - query_started
+                        + (first_query_overhead if index == 0 else 0.0),
+                        expected=query.expected,
+                    )
+                )
+    finally:
+        session.close()
+    return results
+
+
+def _group_key(query: BatchQuery, index: int):
+    """Queries land in one group iff they can share an analysis session.
+
+    Concurrent queries use a different engine (no session support) and stay
+    singletons, as does anything whose program cannot be compared cheaply:
+    parsed programs group by object identity, source texts by content.
+    """
+    if query.concurrent:
+        return ("solo", index)
+    program_key = query.program if isinstance(query.program, str) else id(query.program)
+    return ("session", program_key, query.algorithm)
+
+
+def group_queries(queries: Sequence[BatchQuery]) -> List[List[int]]:
+    """Partition query indices into session-shareable groups (order kept).
+
+    Group order follows first appearance; indices inside a group keep
+    submission order, so flattening group results in group-then-member
+    order never reorders a batch that was already grouped.
+    """
+    groups: Dict[object, List[int]] = {}
+    for index, query in enumerate(queries):
+        groups.setdefault(_group_key(query, index), []).append(index)
+    return list(groups.values())
+
+
 def _batch_is_picklable(queries: Sequence[BatchQuery]) -> bool:
     """Feasibility probe: can this batch cross a process boundary?"""
     try:
@@ -184,8 +342,14 @@ def run_shards(
     queries: Sequence[BatchQuery],
     jobs: int = 1,
     start_method: Optional[str] = None,
+    group_by_program: bool = True,
 ) -> Tuple[List[ShardResult], str, Optional[str]]:
     """Run a batch of queries, fanning out over ``jobs`` worker processes.
+
+    With ``group_by_program`` (the default), queries sharing a program and
+    algorithm form one scheduling unit served by a single analysis session
+    (see :func:`run_shard_group`); the pool then maps over *groups*, and
+    the returned results are flattened back into submission order.
 
     Returns ``(results, mode, fallback_reason)``: ``results`` preserves
     query order; ``mode`` records how the batch actually ran —
@@ -195,20 +359,44 @@ def run_shards(
     or the exception that broke the pool) and is None otherwise.
     """
     queries = list(queries)
-    if jobs <= 1 or len(queries) <= 1:
-        return [run_shard(query) for query in queries], "sequential", None
+    if group_by_program:
+        groups = group_queries(queries)
+    else:
+        groups = [[index] for index in range(len(queries))]
+
+    def flatten(per_group: Sequence[List[ShardResult]]) -> List[ShardResult]:
+        ordered: List[ShardResult] = [None] * len(queries)  # type: ignore[list-item]
+        for indices, results in zip(groups, per_group):
+            for index, shard in zip(indices, results):
+                ordered[index] = shard
+        return ordered
+
+    def sequential() -> List[ShardResult]:
+        return flatten([run_shard_group([queries[i] for i in group]) for group in groups])
+
+    if jobs <= 1 or len(groups) <= 1:
+        reason = None
+        if jobs > 1 and len(queries) > 1:
+            # The caller asked for a pool but grouping collapsed the batch
+            # into one session; say so rather than silently dropping the
+            # fan-out (group_by_program=False / --no-group restores it).
+            reason = (
+                "all queries grouped onto one session; pass "
+                "group_by_program=False to fan out instead"
+            )
+        return sequential(), "sequential", reason
     if not _batch_is_picklable(queries):
-        reason = "batch is not picklable"
-        return [run_shard(query) for query in queries], "sequential-fallback", reason
+        return sequential(), "sequential-fallback", "batch is not picklable"
     try:
         import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
 
         context = multiprocessing.get_context(start_method) if start_method else None
-        workers = min(jobs, len(queries))
+        workers = min(jobs, len(groups))
+        grouped_queries = [[queries[i] for i in group] for group in groups]
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            results = list(pool.map(run_shard, queries))
-        return results, "process-pool", None
+            per_group = list(pool.map(run_shard_group, grouped_queries))
+        return flatten(per_group), "process-pool", None
     except Exception as exc:  # pool start-up or transport failure: degrade, don't die
         reason = f"process pool failed: {type(exc).__name__}: {exc}"
-        return [run_shard(query) for query in queries], "sequential-fallback", reason
+        return sequential(), "sequential-fallback", reason

@@ -381,6 +381,60 @@ class TestSymbolicBackendGc:
         # plan_b still evaluates against the protected skeleton.
         assert plan_b.eval(backend, {}) == edge
 
+    def test_session_close_returns_manager_to_baseline(self):
+        """A session retains templates, Target BDDs, query plans and solved
+        interpretations; ``close()`` must release every one of them — zero
+        external references, and a sweep empties the node table."""
+        from repro.api import AnalysisSession
+
+        source = """
+        decl g;
+        main() begin
+          g := T;
+          if (g) then yes: skip; fi
+          if (!g) then no: skip; fi
+        end
+        """
+        session = AnalysisSession(source, default_algorithm="ef")
+        session.solve()
+        session.check("main:yes")
+        session.check("main:no")
+        session.check("main:yes", algorithm="summary")  # second algorithm state
+        managers = [state.backend.manager for state in session._states.values()]
+        assert len(managers) == 2
+        for mgr in managers:
+            assert mgr.external_references() > 0
+            assert len(mgr) > 1
+        session.close()
+        for mgr in managers:
+            assert mgr.external_references() == 0
+            mgr.collect_garbage()
+            assert len(mgr) == 1  # only the shared terminal survives
+
+    def test_backend_retain_release_protocol(self):
+        """retain/release pin interpretation edges across sweeps; release is
+        count-guarded so strangers' references are never stolen."""
+        from repro.fixedpoint import SymbolicBackend
+
+        system, Reach, Init, Trans, u = self._system()
+        backend = SymbolicBackend(system)
+        mgr = backend.manager
+        edge = backend.context.encode_cube(u, 2)
+        backend.retain(edge)
+        backend.retain(edge)
+        assert backend.retained_count() == 1
+        mgr.collect_garbage()
+        assert backend.context.encode_cube(u, 2) == edge  # survived the sweep
+        backend.release(edge)
+        backend.release(edge)
+        backend.release(edge)  # over-release: must be a no-op
+        assert backend.retained_count() == 0
+        # Another owner's reference must survive a close after over-release.
+        mgr.ref(edge)
+        refs = mgr.external_references()
+        backend.release(edge)
+        assert mgr.external_references() == refs
+
     def test_nested_evaluation_with_aggressive_gc_is_correct(self):
         from repro.fixedpoint import SymbolicBackend, evaluate_nested, Var
 

@@ -242,3 +242,51 @@ class TestCliBatch:
         assert payload["shards"][0]["reachable"] is True
         assert payload["shards"][1]["reachable"] is False
         assert payload["shards"][0]["live_nodes"] > 0
+        # Two distinct files: no grouping, every query paid its own solve.
+        assert payload["queries_per_solve"] == 1.0
+        assert all(row["reused_solve"] is False for row in payload["shards"])
+
+    def test_batch_json_reports_session_reuse(self, tmp_path, capsys):
+        """Multi-target on one file rides a single session: the JSON output
+        carries verdict, iterations and the per-query reuse flag."""
+        source = """
+        decl g;
+        main() begin
+          g := T;
+          if (g) then a: skip; fi
+          if (!g) then b: skip; fi
+        end
+        """
+        path = tmp_path / "multi.bp"
+        path.write_text(source)
+        status = main(
+            [str(path), "--target", "main:a", "--target", "main:b", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 1
+        rows = payload["shards"]
+        assert [row["name"] for row in rows] == ["multi.bp:main:a", "multi.bp:main:b"]
+        assert rows[0]["reachable"] is True and rows[1]["reachable"] is False
+        assert all(row["iterations"] > 0 for row in rows)
+        assert [row["reused_solve"] for row in rows] == [False, True]
+        assert payload["queries_per_solve"] == 2.0
+        assert payload["reused_solves"] == 1
+
+    def test_no_group_restores_one_solve_per_query(self, tmp_path, capsys):
+        source = """
+        decl g;
+        main() begin
+          g := T;
+          if (g) then a: skip; fi
+          if (!g) then b: skip; fi
+        end
+        """
+        path = tmp_path / "multi.bp"
+        path.write_text(source)
+        status = main(
+            [str(path), "--target", "main:a", "--target", "main:b", "--no-group", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert payload["queries_per_solve"] == 1.0
+        assert all(row["reused_solve"] is False for row in payload["shards"])

@@ -1,0 +1,357 @@
+"""Tests for the compile-once / query-many session API (:mod:`repro.api`).
+
+The load-bearing properties:
+
+* **Equivalence** — `session.check_all(targets)` produces the same verdicts
+  and iteration counts as N fresh full `run_sequential` calls, on all three
+  algorithms (the retained summary fixed point of a target-free system is
+  target-independent).
+* **Reuse** — after a solve, checks are query post-passes; targets are
+  cached by signature; monotone algorithms warm-start from early-stopped
+  iterates and resume the exact Kleene sequence.
+* **Lifecycle** — validation happens once at construction (never per
+  query), `SessionSpec` round-trips through pickle into a worker process,
+  and `close()` releases every retained edge.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.algorithms import SEQUENTIAL_ALGORITHMS, run_batch, run_sequential
+from repro.api import AnalysisSession, SessionSpec
+from repro.boolprog import parse_program
+from repro.frontends import resolve_target
+from repro.parallel import BatchQuery, group_queries
+
+ALGORITHMS = sorted(SEQUENTIAL_ALGORITHMS)
+
+PROGRAM = """
+decl g;
+main() begin
+  decl x;
+  x := *;
+  call set_flag(x);
+  if (g) then yes: skip; fi
+  if (!g) then no_g: skip; fi
+  if (g & !g) then never: skip; fi
+  done: skip;
+end
+set_flag(v) begin
+  g := v;
+  if (!v) then cold: skip; fi
+end
+"""
+
+#: A mix of reachable and unreachable targets across two procedures.
+TARGETS = ["main:yes", "main:no_g", "main:never", "set_flag:cold", "main:done"]
+EXPECTED = [True, True, False, True, True]
+
+OTHER_PROGRAM = """
+decl h;
+main() begin
+  h := F;
+  if (h) then hit: skip; fi
+end
+"""
+
+
+def _locations(program):
+    return [resolve_target(program, target) for target in TARGETS]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_check_all_matches_fresh_full_runs(self, algorithm):
+        """Session verdicts/iterations == N fresh full-fixed-point runs."""
+        program = parse_program(PROGRAM)
+        locations = _locations(program)
+        fresh = [
+            run_sequential(program, locs, algorithm=algorithm, early_stop=False)
+            for locs in locations
+        ]
+        with AnalysisSession(program, default_algorithm=algorithm) as session:
+            reused = session.check_all(locations, algorithm=algorithm)
+        assert [r.reachable for r in fresh] == EXPECTED
+        for fresh_result, session_result in zip(fresh, reused):
+            assert session_result.reachable == fresh_result.reachable
+            assert session_result.iterations == fresh_result.iterations
+            assert (
+                session_result.equation_evaluations
+                == fresh_result.equation_evaluations
+            )
+            assert session_result.summary_nodes == fresh_result.summary_nodes
+        # The solve was amortised: every check rode the retained summary.
+        assert all(r.details["reused_solve"] for r in reused)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_lazy_checks_match_fresh_verdicts(self, algorithm):
+        """Without a pre-solve, per-target evaluation agrees with fresh runs."""
+        program = parse_program(PROGRAM)
+        locations = _locations(program)
+        with AnalysisSession(program) as session:
+            results = [
+                session.check(locs, algorithm=algorithm) for locs in locations
+            ]
+        assert [r.reachable for r in results] == EXPECTED
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_summary_states_populated(self, algorithm):
+        """The symbolic engines report tuple counts via signed-edge count_sat."""
+        result = run_sequential(
+            parse_program(PROGRAM),
+            resolve_target(parse_program(PROGRAM), "main:yes"),
+            algorithm=algorithm,
+        )
+        assert result.summary_states is not None
+        assert result.summary_states > 0
+
+
+class TestReuse:
+    def test_solve_is_idempotent(self):
+        with AnalysisSession(PROGRAM, default_algorithm="summary") as session:
+            first = session.solve()
+            second = session.solve()
+        assert not first.reused
+        assert second.reused
+        assert second.iterations == first.iterations
+
+    def test_checks_after_solve_are_post_passes(self):
+        with AnalysisSession(PROGRAM, default_algorithm="ef") as session:
+            session.solve()
+            result = session.check("main:yes")
+            assert result.details["reused_solve"] is True
+            assert not result.stopped_early
+            stats = session.stats()["algorithms"]["ef"]
+            assert stats["solves"] == 1
+            assert stats["reused_queries"] == 1
+
+    def test_target_cache_keyed_by_signature(self):
+        """Identical location sets (any order) hit one cached Target BDD."""
+        program = parse_program(PROGRAM)
+        a = resolve_target(program, "main:yes")[0]
+        b = resolve_target(program, "main:done")[0]
+        with AnalysisSession(program, default_algorithm="summary") as session:
+            session.check([a, b])
+            session.check([b, a])
+            session.check([b, a, b])
+            assert session.stats()["algorithms"]["summary"]["cached_targets"] == 1
+            session.check([a])
+            assert session.stats()["algorithms"]["summary"]["cached_targets"] == 2
+
+    def test_full_lazy_run_promotes_to_retained_summary(self):
+        """A query that reaches the fixed point anyway seeds later reuse."""
+        with AnalysisSession(PROGRAM, default_algorithm="ef-opt") as session:
+            first = session.check("main:never")  # unreachable: runs to fixpoint
+            second = session.check("main:yes")
+        assert not first.reachable and not first.details["reused_solve"]
+        assert second.reachable and second.details["reused_solve"]
+
+    @pytest.mark.parametrize("algorithm", ["summary", "ef"])
+    def test_monotone_warm_start_resumes_the_iteration(self, algorithm):
+        """An early-stopped iterate is resumed, not recomputed: the total
+        iteration count across both queries equals one fresh full run."""
+        program = parse_program(PROGRAM)
+        full = run_sequential(
+            program,
+            resolve_target(program, "main:never"),
+            algorithm=algorithm,
+            early_stop=False,
+        )
+        with AnalysisSession(program, default_algorithm=algorithm) as session:
+            eager = session.check("main:yes")  # stops early, retains the iterate
+            assert eager.stopped_early
+            assert eager.iterations < full.iterations
+            resumed = session.check("main:never")  # unreachable: runs to fixpoint
+        assert resumed.details["warm_start"] is True
+        assert not resumed.reachable
+        assert resumed.iterations == full.iterations
+
+    def test_ef_opt_never_warm_starts(self):
+        """The non-monotone frontier encoding must restart from empty."""
+        with AnalysisSession(PROGRAM, default_algorithm="ef-opt") as session:
+            eager = session.check("main:yes")
+            assert eager.stopped_early
+            second = session.check("main:no_g")
+        assert second.details["warm_start"] is False
+        assert second.details["reused_solve"] is False
+        assert second.reachable
+
+
+class TestLifecycle:
+    def test_validation_happens_once_at_construction(self, monkeypatch):
+        import repro.api.session as session_module
+
+        calls = []
+        real = session_module.check_program
+        monkeypatch.setattr(
+            session_module, "check_program", lambda p: (calls.append(1), real(p))[1]
+        )
+        with AnalysisSession(PROGRAM) as session:
+            assert calls == [1]
+            session.check("main:yes")
+            session.check("main:done")
+            session.check("main:yes", algorithm="summary")
+            assert calls == [1]
+
+    def test_run_sequential_validate_flag_passes_through(self, monkeypatch):
+        import repro.api.session as session_module
+
+        calls = []
+        real = session_module.check_program
+        monkeypatch.setattr(
+            session_module, "check_program", lambda p: (calls.append(1), real(p))[1]
+        )
+        program = parse_program(PROGRAM)
+        locations = resolve_target(program, "main:yes")
+        run_sequential(program, locations, validate=False)
+        assert calls == []
+        run_sequential(program, locations, validate=True)
+        assert calls == [1]
+
+    def test_constructing_without_validation_skips_check(self):
+        session = AnalysisSession(PROGRAM, validate=False)
+        assert session.validations == 0
+        session.close()
+
+    def test_closed_session_rejects_queries(self):
+        session = AnalysisSession(PROGRAM)
+        session.check("main:yes")
+        session.close()
+        session.close()  # idempotent
+        assert session.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            session.check("main:yes")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            AnalysisSession(PROGRAM, default_algorithm="made-up")
+        with AnalysisSession(PROGRAM) as session:
+            with pytest.raises(ValueError, match="unknown algorithm"):
+                session.check("main:yes", algorithm="made-up")
+
+
+def _worker_roundtrip(payload: bytes) -> bool:
+    """Module-level worker: unpickle a SessionSpec and answer a query."""
+    spec = pickle.loads(payload)
+    with spec.open() as session:
+        return session.check("main:yes").reachable
+
+
+class TestSessionSpec:
+    def test_pickle_roundtrip(self):
+        spec = SessionSpec(program=PROGRAM, default_algorithm="summary")
+        assert spec.is_picklable()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        with clone.open() as session:
+            assert session.default_algorithm == "summary"
+            assert session.check("main:yes").reachable
+
+    def test_parsed_program_spec_roundtrips(self):
+        spec = SessionSpec(program=parse_program(PROGRAM))
+        clone = pickle.loads(pickle.dumps(spec))
+        with clone.open() as session:
+            assert not session.check("main:never").reachable
+
+    def test_spec_round_trips_into_a_worker_process(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        payload = pickle.dumps(SessionSpec(program=PROGRAM))
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            assert pool.submit(_worker_roundtrip, payload).result() is True
+
+
+class TestBatchGrouping:
+    def _queries(self):
+        return [
+            BatchQuery(name="p:yes", program=PROGRAM, target="main:yes", expected=True),
+            BatchQuery(name="p:never", program=PROGRAM, target="main:never", expected=False),
+            BatchQuery(name="p:cold", program=PROGRAM, target="set_flag:cold", expected=True),
+            BatchQuery(name="other", program=OTHER_PROGRAM, target="main:hit", expected=False),
+        ]
+
+    def test_group_queries_partitions_by_program_and_algorithm(self):
+        queries = self._queries()
+        queries.append(
+            BatchQuery(name="p:sum", program=PROGRAM, target="main:yes", algorithm="summary")
+        )
+        groups = group_queries(queries)
+        assert sorted(index for group in groups for index in group) == [0, 1, 2, 3, 4]
+        assert [0, 1, 2] in groups  # same program text + algorithm
+        assert [3] in groups  # different program
+        assert [4] in groups  # different algorithm
+
+    def test_concurrent_queries_stay_singletons(self):
+        queries = [
+            BatchQuery(name="c1", program="x", target="error", concurrent=True),
+            BatchQuery(name="c2", program="x", target="error", concurrent=True),
+        ]
+        assert group_queries(queries) == [[0], [1]]
+
+    def test_grouped_batch_matches_ungrouped_verdicts(self):
+        queries = self._queries()
+        grouped = run_batch(queries, jobs=1)
+        ungrouped = run_batch(queries, jobs=1, group_by_program=False)
+        assert not grouped.failures() and not ungrouped.failures()
+        assert not grouped.mismatches() and not ungrouped.mismatches()
+        assert grouped.verdicts() == ungrouped.verdicts()
+        # The three same-program queries shared one solve...
+        assert grouped.reused_count == 2
+        assert grouped.queries_per_solve == pytest.approx(2.0)
+        # ...while the ungrouped run paid one solve per query.
+        assert ungrouped.reused_count == 0
+        assert ungrouped.queries_per_solve == pytest.approx(1.0)
+        flags = {row["name"]: row["reused_solve"] for row in grouped.rows()}
+        assert flags == {"p:yes": False, "p:never": True, "p:cold": True, "other": False}
+
+    def test_grouped_batch_determinism_across_jobs(self):
+        queries = self._queries()
+        sequential = run_batch(queries, jobs=1)
+        parallel = run_batch(queries, jobs=2)
+        assert not parallel.failures()
+        assert sequential.verdicts() == parallel.verdicts()
+        for seq_shard, par_shard in zip(sequential.shards, parallel.shards):
+            assert seq_shard.name == par_shard.name
+            assert seq_shard.reused_solve == par_shard.reused_solve
+            assert seq_shard.result.iterations == par_shard.result.iterations
+
+    def test_bad_target_fails_only_its_query_in_a_group(self):
+        queries = [
+            BatchQuery(name="good", program=PROGRAM, target="main:yes"),
+            BatchQuery(name="bad", program=PROGRAM, target="main:missing"),
+            BatchQuery(name="also-good", program=PROGRAM, target="main:done"),
+        ]
+        report = run_batch(queries, jobs=1)
+        assert [shard.name for shard in report.failures()] == ["bad"]
+        assert report.verdicts()["good"] is True
+        assert report.verdicts()["also-good"] is True
+
+    def test_solve_attribution_survives_first_query_error(self):
+        """When the group's first query errors, the solve is attributed to
+        the first successful one — queries_per_solve stays meaningful."""
+        queries = [
+            BatchQuery(name="bad", program=PROGRAM, target="main:missing"),
+            BatchQuery(name="good", program=PROGRAM, target="main:yes"),
+            BatchQuery(name="also-good", program=PROGRAM, target="main:done"),
+        ]
+        report = run_batch(queries, jobs=1)
+        assert [shard.name for shard in report.failures()] == ["bad"]
+        flags = {s.name: s.reused_solve for s in report.shards if s.ok}
+        assert flags == {"good": False, "also-good": True}
+        assert report.queries_per_solve == pytest.approx(2.0)
+        # The shard-level flag and the result's details must agree.
+        for shard in report.shards:
+            if shard.ok:
+                assert shard.result.details["reused_solve"] == shard.reused_solve
+
+    def test_broken_program_fails_the_whole_group(self):
+        queries = [
+            BatchQuery(name="q1", program="main( begin", target="main:a"),
+            BatchQuery(name="q2", program="main( begin", target="main:b"),
+        ]
+        report = run_batch(queries, jobs=1)
+        assert len(report.failures()) == 2
+        assert all("ParseError" in shard.error for shard in report.failures())
