@@ -17,6 +17,8 @@ Usage::
     python benchmarks/report.py kernel             # BDD kernel micro-benchmarks
     python benchmarks/report.py parallel-smoke     # CI: pool pickling smoke
     python benchmarks/report.py session-smoke      # CI: per-shard session reuse
+    python benchmarks/report.py faults             # limits-armed overhead table
+    python benchmarks/report.py faults-smoke       # CI: worker-kill retry smoke
     python benchmarks/report.py all
 """
 
@@ -370,6 +372,120 @@ def parallel_smoke() -> None:
     print("parallel smoke OK: pool pickling of programs/targets/results works")
 
 
+def faults_table(rounds: int = 3, overhead_budget: float = 0.05) -> None:
+    """Overhead of an armed-but-unhit resource envelope on the Figure 2 sweep.
+
+    Runs the summary-algorithm Figure 2 regression sweep twice per round —
+    once bare, once under generous limits (a deadline and node budget far
+    above what the sweep needs, so enforcement checkpoints run but never
+    trip) — and compares best-of-``rounds`` wall clocks.  The cooperative
+    checks live on the ``_mk`` hot path, so this table is the evidence that
+    governance is affordable: the armed run must stay within
+    ``overhead_budget`` (plus a small absolute floor for timer noise) of the
+    bare run, with identical verdicts.
+    """
+    from repro.limits import ResourceLimits
+
+    print("== Resource-governance overhead: Figure 2 regression sweep (summary) ==")
+    cases = regression_suite(True) + regression_suite(False)
+    resolved = [
+        (case, resolve_target(case.program, case.target)) for case in cases
+    ]
+    limits = ResourceLimits(deadline_seconds=600.0, node_budget=50_000_000)
+
+    def sweep(armed: bool) -> float:
+        started = time.perf_counter()
+        for case, locations in resolved:
+            result = run_sequential(
+                case.program,
+                locations,
+                algorithm="summary",
+                limits=limits if armed else None,
+            )
+            assert result.reachable == case.expected, (
+                f"{case.name}: verdict changed under "
+                f"{'armed' if armed else 'bare'} run"
+            )
+        return time.perf_counter() - started
+
+    bare = min(sweep(armed=False) for _ in range(rounds))
+    armed = min(sweep(armed=True) for _ in range(rounds))
+    overhead = (armed - bare) / max(bare, 1e-9)
+    print(
+        f"{'run':10s}  {'programs':>8s}  {'best of':>7s}  {'wall (s)':>8s}"
+    )
+    print(f"{'bare':10s}  {len(cases):8d}  {rounds:7d}  {bare:8.3f}")
+    print(f"{'governed':10s}  {len(cases):8d}  {rounds:7d}  {armed:8.3f}")
+    print(f"overhead: {overhead * 100:+.1f}% (budget {overhead_budget * 100:.0f}%)")
+    # Tiny sweeps are timer-noise bound: allow a small absolute floor so the
+    # relative budget only bites once the sweep is long enough to measure.
+    assert armed <= bare * (1.0 + overhead_budget) + 0.05, (
+        f"governance overhead {overhead * 100:.1f}% exceeds the "
+        f"{overhead_budget * 100:.0f}% budget (bare={bare:.3f}s armed={armed:.3f}s)"
+    )
+    print("faults overhead OK: armed limits stay within budget, verdicts identical")
+
+
+def faults_smoke(jobs: int = 2) -> None:
+    """CI smoke: a worker killed mid-batch is retried, answers unchanged.
+
+    Runs a two-group batch clean, then again with a one-shot injected worker
+    kill (latched on a token file, so exactly one attempt dies).  The
+    scheduler must rebuild the pool, re-run only the killed group, preserve
+    the completed shard, and report identical verdicts with the retry
+    recorded in the shard statuses.
+    """
+    import os
+    import tempfile
+
+    from repro.parallel import BatchQuery, run_shards
+    from repro.testing import FaultPlan
+
+    positive = """
+    decl g;
+    main() begin
+      g := T;
+      if (g) then target: skip; fi
+    end
+    """
+    negative = """
+    decl g;
+    main() begin
+      g := F;
+      if (g) then target: skip; fi
+    end
+    """
+    queries = [
+        BatchQuery(name="victim", program=positive, target="main:target", expected=True),
+        BatchQuery(name="bystander", program=negative, target="main:target", expected=False),
+    ]
+    clean = run_batch(queries, jobs=jobs)
+    assert clean.mode == "process-pool", f"expected a process pool, ran {clean.mode}"
+    assert not clean.failures(), [s.error for s in clean.failures()]
+    token = tempfile.mktemp(prefix="getafix-fault-latch-")
+    try:
+        plan = FaultPlan(kill_query="victim", once_token=token)
+        results, mode, _ = run_shards(queries, jobs=jobs, fault_plan=plan)
+    finally:
+        if os.path.exists(token):
+            os.unlink(token)
+    assert mode == "process-pool", f"expected a process pool, ran {mode}"
+    by_name = {shard.name: shard for shard in results}
+    assert by_name["victim"].status == "retried", (
+        f"killed shard was not retried: {by_name['victim']}"
+    )
+    assert by_name["victim"].retries >= 1
+    verdicts = {shard.name: shard.result.reachable for shard in results}
+    assert verdicts == clean.verdicts(), (
+        f"fault-injected verdicts diverged: {verdicts} vs {clean.verdicts()}"
+    )
+    assert not any(shard.mismatch for shard in results)
+    print(
+        f"faults smoke OK: worker kill at jobs={jobs} triggered a pool rebuild, "
+        f"victim retried {by_name['victim'].retries}x, verdicts identical to clean run"
+    )
+
+
 def figure3(max_switches: int = 6) -> None:
     """The Bluetooth table of Figure 3, using the explicit engine (all bounds)."""
     print("== Figure 3: Bluetooth driver, explicit engine ==")
@@ -442,6 +558,8 @@ def main(argv: List[str] | None = None) -> int:
             "kernel",
             "parallel-smoke",
             "session-smoke",
+            "faults",
+            "faults-smoke",
             "all",
         ],
         help="which table to regenerate",
@@ -484,6 +602,12 @@ def main(argv: List[str] | None = None) -> int:
         parallel_smoke()
     if args.what == "session-smoke":
         session_smoke()
+    if args.what in ("faults", "all"):
+        faults_table()
+        if args.what == "all":
+            print()
+    if args.what == "faults-smoke":
+        faults_smoke(jobs=min(args.jobs, 2))
     return 0
 
 

@@ -50,6 +50,7 @@ from ..fixedpoint import (
 )
 from ..fixedpoint.symbolic import SymbolicBackend, default_bit_order
 from ..fixedpoint.terms import Field
+from ..limits import ResourceLimits
 from .common import AlgorithmSpec, compile_query, finish_symbolic_run
 from .result import ReachabilityResult
 
@@ -312,6 +313,7 @@ def run_concurrent(
     max_iterations: int = 100_000,
     validate: bool = True,
     count_states: bool = False,
+    limits: Optional["ResourceLimits"] = None,
 ) -> ReachabilityResult:
     """Bounded context-switching reachability check on a concurrent program.
 
@@ -319,14 +321,28 @@ def run_concurrent(
     obtain them from :meth:`ConcurrentEncoder.label_location` /
     :meth:`ConcurrentEncoder.error_locations` (or via the front end, which
     accepts thread/procedure/label names).
+
+    ``limits`` arms a :class:`~repro.limits.ResourceLimits` envelope on the
+    run's private manager (node budget, wall-clock deadline, iteration
+    budget); exhaustion raises the typed
+    :class:`~repro.errors.ResourceExhausted` subclass.  The concurrent
+    engine has no cheaper algorithm to degrade to.
     """
     started = time.perf_counter()
+    if limits is not None and limits.max_iterations is not None:
+        max_iterations = limits.max_iterations
     if validate:
         check_concurrent_program(program)
     encoder = ConcurrentEncoder(program)
     spec = build_cbr_system(encoder, context_switches)
     order = _cbr_bit_order(encoder, spec)
     backend = SymbolicBackend(spec.system, order=order)
+    if limits is not None:
+        # The manager is private to this run and dropped with it, so the
+        # deadline needs no disarming on the way out.
+        backend.manager.set_node_budget(limits.node_budget)
+        if limits.deadline_seconds is not None:
+            backend.manager.set_deadline(limits.deadline_seconds)
 
     encode_start = time.perf_counter()
     templates = encoder.encode(backend, list(target_locations))

@@ -23,6 +23,8 @@ import time
 from typing import Mapping, Optional, Sequence, Tuple, Union
 
 from ..boolprog import Program
+from ..errors import ResourceExhausted
+from ..limits import DEGRADATION_LADDER, ResourceLimits
 from . import entry_forward, entry_forward_opt, summary_basic
 from .result import ReachabilityResult
 
@@ -43,6 +45,7 @@ def run_sequential(
     early_stop: bool = True,
     max_iterations: int = 100_000,
     validate: bool = True,
+    limits: Optional[ResourceLimits] = None,
 ) -> ReachabilityResult:
     """Check whether any of ``target_locations`` is reachable in ``program``.
 
@@ -59,6 +62,14 @@ def run_sequential(
     early_stop:
         Stop the fixed-point iteration as soon as the target is known
         reachable (the appendix formula's "early termination" clause).
+    limits:
+        Optional :class:`~repro.limits.ResourceLimits` envelope for the
+        query.  Exhaustion raises the typed
+        :class:`~repro.errors.ResourceExhausted` subclass — unless
+        ``limits.degrade`` is set and :data:`~repro.limits.DEGRADATION_LADDER`
+        names a cheaper algorithm, in which case the query is retried once
+        with it (same limits) and a successful retry records the original
+        algorithm in ``ReachabilityResult.degraded_from``.
     """
     # Imported lazily: repro.api builds on this module's algorithm registry.
     from ..api.session import AnalysisSession
@@ -68,22 +79,34 @@ def run_sequential(
             f"unknown algorithm {algorithm!r}; choose one of {sorted(SEQUENTIAL_ALGORITHMS)}"
         )
     started = time.perf_counter()
-    session = AnalysisSession(
-        program,
-        default_algorithm=algorithm,
-        validate=validate,
-        max_iterations=max_iterations,
-    )
-    try:
-        result = session.check(
-            [tuple(location) for location in target_locations],
-            algorithm=algorithm,
-            early_stop=early_stop,
-        )
-    finally:
-        session.close()
-    result.total_seconds = time.perf_counter() - started
-    return result
+    attempts = [algorithm]
+    if limits is not None and limits.degrade:
+        fallback = DEGRADATION_LADDER.get(algorithm)
+        if fallback is not None:
+            attempts.append(fallback)
+    locations = [tuple(location) for location in target_locations]
+    for position, attempt in enumerate(attempts):
+        try:
+            session = AnalysisSession(
+                program,
+                default_algorithm=attempt,
+                validate=validate,
+                max_iterations=max_iterations,
+                limits=limits,
+            )
+            try:
+                result = session.check(locations, algorithm=attempt, early_stop=early_stop)
+            finally:
+                session.close()
+        except ResourceExhausted:
+            if position == len(attempts) - 1:
+                raise
+            continue
+        if position > 0:
+            result.degraded_from = algorithm
+        result.total_seconds = time.perf_counter() - started
+        return result
+    raise AssertionError("unreachable: every attempt either returned or raised")
 
 
 def run_batch(
@@ -91,6 +114,10 @@ def run_batch(
     jobs: int = 1,
     start_method: Optional[str] = None,
     group_by_program: bool = True,
+    limits: Optional[ResourceLimits] = None,
+    shard_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fault_plan: Optional[object] = None,
 ) -> "BatchReport":
     """Run a batch of reachability queries, sharded over worker processes.
 
@@ -114,18 +141,37 @@ def run_batch(
     ``jobs <= 1`` (or a batch that cannot be pickled, or a platform without
     working process pools) runs the same groups sequentially in-process
     with identical results; see :func:`repro.parallel.run_shards`.
+
+    ``limits`` installs a :class:`~repro.limits.ResourceLimits` envelope on
+    every query that does not already carry one; ``shard_timeout``,
+    ``max_retries`` and ``fault_plan`` are forwarded to the scheduler's
+    fault-tolerance layer (driver-side shard timeouts, pool rebuild with
+    bounded-backoff retry of failed shards, deterministic fault injection).
     """
     # Imported lazily: repro.parallel pulls in the front end, which imports
     # this package — a module-level import would be circular.
+    from dataclasses import replace
+
     from ..parallel import BatchQuery, merge_shards, run_shards
 
     coerced = [
         query if isinstance(query, BatchQuery) else BatchQuery(**dict(query))
         for query in queries
     ]
+    if limits is not None:
+        coerced = [
+            query if query.limits is not None else replace(query, limits=limits)
+            for query in coerced
+        ]
     started = time.perf_counter()
     shards, mode, fallback_reason = run_shards(
-        coerced, jobs=jobs, start_method=start_method, group_by_program=group_by_program
+        coerced,
+        jobs=jobs,
+        start_method=start_method,
+        group_by_program=group_by_program,
+        shard_timeout=shard_timeout,
+        max_retries=max_retries,
+        fault_plan=fault_plan,
     )
     wall = time.perf_counter() - started
     return merge_shards(

@@ -44,6 +44,10 @@ class ReachabilityResult:
         node counts and garbage-collection counters (safe-point steps,
         collections, reclaimed nodes, external roots).  Empty for the
         explicit baselines.
+    degraded_from:
+        When the degradation ladder retried this query with a cheaper
+        algorithm after the original exhausted its resource envelope, the
+        name of the algorithm originally requested; None otherwise.
     """
 
     reachable: bool
@@ -58,6 +62,7 @@ class ReachabilityResult:
     stopped_early: bool = False
     details: Dict[str, object] = field(default_factory=dict)
     stats: Dict[str, object] = field(default_factory=dict)
+    degraded_from: Optional[str] = None
 
     def cache_hit_rate(self, op: str) -> Optional[float]:
         """Convenience accessor for a kernel operation's cache hit rate."""

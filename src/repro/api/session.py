@@ -66,18 +66,22 @@ from __future__ import annotations
 
 import pickle
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..algorithms.engine import SEQUENTIAL_ALGORITHMS
 from ..algorithms.result import ReachabilityResult
 from ..bdd import BddError
 from ..boolprog import Program, build_cfg, check_program, parse_program
 from ..encode.templates import SequentialEncoder, TemplateSet
+from ..errors import ResourceExhausted
 from ..fixedpoint import evaluate_nested, evaluate_simultaneous
 from ..fixedpoint.evaluator import EvaluationResult
 from ..fixedpoint.symbolic import SymbolicBackend
 from ..frontends.getafix import TargetSpec, resolve_target_locations
+from ..limits import ResourceLimits
+from ..testing import faults
 
 __all__ = ["AnalysisSession", "SessionSpec", "SolveInfo"]
 
@@ -105,6 +109,7 @@ class SessionSpec:
     default_algorithm: str = "ef-opt"
     validate: bool = True
     max_iterations: int = 100_000
+    limits: Optional[ResourceLimits] = None
 
     def open(self) -> "AnalysisSession":
         """Build the session this spec describes (in the calling process)."""
@@ -113,6 +118,7 @@ class SessionSpec:
             default_algorithm=self.default_algorithm,
             validate=self.validate,
             max_iterations=self.max_iterations,
+            limits=self.limits,
         )
 
     def is_picklable(self) -> bool:
@@ -163,6 +169,12 @@ class _AlgorithmState:
         started = time.perf_counter()
         self.spec = SEQUENTIAL_ALGORITHMS[algorithm](session.encoder)
         self.backend = SymbolicBackend(self.spec.system)
+        if session.limits is not None:
+            # The node budget is a property of the state's private manager
+            # and persists across queries; the deadline is armed per query
+            # (see AnalysisSession._governed).  Set it before encoding so
+            # the base templates are governed too.
+            self.backend.manager.set_node_budget(session.limits.node_budget)
         self.base: TemplateSet = session.encoder.encode_base(self.backend)
         self.base_interps: Dict[str, int] = self.base.interps()
         for edge in self.base_interps.values():
@@ -245,6 +257,15 @@ class AnalysisSession:
         Run ``check_program`` once, at construction (never again per query).
     max_iterations:
         Outer-iteration budget passed to the fixed-point evaluators.
+    limits:
+        Optional :class:`~repro.limits.ResourceLimits` envelope.  The node
+        budget is installed on every compiled algorithm's private manager;
+        the wall-clock deadline is armed per query; ``max_iterations``
+        (when set in the limits) overrides the parameter of the same name.
+        A query that exhausts the envelope raises the typed
+        :class:`~repro.errors.ResourceExhausted` subclass and leaves the
+        session usable: compiled artifacts and retained interpretations
+        survive, and later queries (or :meth:`set_limits`) proceed normally.
 
     Sessions are context managers; leaving the ``with`` block closes them.
     """
@@ -256,6 +277,7 @@ class AnalysisSession:
         default_algorithm: str = "ef-opt",
         validate: bool = True,
         max_iterations: int = 100_000,
+        limits: Optional[ResourceLimits] = None,
     ) -> None:
         if default_algorithm not in SEQUENTIAL_ALGORITHMS:
             raise ValueError(
@@ -264,6 +286,10 @@ class AnalysisSession:
             )
         self.program = program if isinstance(program, Program) else parse_program(program)
         self.default_algorithm = default_algorithm
+        self.limits = limits
+        self._default_max_iterations = max_iterations
+        if limits is not None and limits.max_iterations is not None:
+            max_iterations = limits.max_iterations
         self.max_iterations = max_iterations
         self.validations = 0
         if validate:
@@ -333,6 +359,10 @@ class AnalysisSession:
         a retained early-stopped iterate when one exists.
         """
         state = self._state(algorithm)
+        with self._governed(state):
+            return self._solve(state)
+
+    def _solve(self, state: _AlgorithmState) -> SolveInfo:
         if state.solved is not None:
             retained = state.solved
             return SolveInfo(
@@ -393,6 +423,17 @@ class AnalysisSession:
         """
         started = time.perf_counter()
         state = self._state(algorithm)
+        faults.on_query(state.algorithm)
+        with self._governed(state):
+            return self._check(state, target, early_stop, started)
+
+    def _check(
+        self,
+        state: _AlgorithmState,
+        target: TargetSpec,
+        early_stop: bool,
+        started: float,
+    ) -> ReachabilityResult:
         locations = self.resolve(target)
         signature = self._signature(locations)
         state.query_count += 1
@@ -551,6 +592,50 @@ class AnalysisSession:
                 for name, state in self._states.items()
             },
         }
+
+    # -- resource governance ----------------------------------------------
+    def set_limits(self, limits: Optional[ResourceLimits]) -> None:
+        """Replace the session's resource envelope (``None`` removes it).
+
+        Applies immediately to every compiled algorithm state: node budgets
+        are (re)installed on their managers, and the next query is governed
+        by the new deadline/iteration budget.  Lets a caller recover a
+        session whose envelope proved too tight without recompiling.
+        """
+        self.limits = limits
+        if limits is not None and limits.max_iterations is not None:
+            self.max_iterations = limits.max_iterations
+        else:
+            self.max_iterations = self._default_max_iterations
+        for state in self._states.values():
+            state.backend.manager.set_node_budget(
+                limits.node_budget if limits is not None else None
+            )
+
+    @contextmanager
+    def _governed(self, state: _AlgorithmState) -> Iterator[None]:
+        """Arm the per-query envelope on the state's manager for one query.
+
+        On :class:`~repro.errors.ResourceExhausted` the deadline is
+        disarmed and the failed run's garbage is swept (retained
+        interpretations and compiled skeletons are external roots and
+        survive), so the session stays usable and ``close()`` still returns
+        the manager to its baseline.
+        """
+        mgr = state.backend.manager
+        limits = self.limits
+        armed = limits is not None and limits.deadline_seconds is not None
+        if armed:
+            mgr.set_deadline(limits.deadline_seconds)
+        try:
+            yield
+        except ResourceExhausted:
+            mgr.clear_deadline()
+            mgr.collect_garbage()
+            raise
+        finally:
+            if armed:
+                mgr.clear_deadline()
 
     # -- internals --------------------------------------------------------
     def _evaluate(

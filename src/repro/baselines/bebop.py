@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 from ..boolprog import Program, build_cfg, check_program
 from ..boolprog.cfg import ProgramCfg
+from ..errors import ExplorationBudgetExceeded
 from ..algorithms.result import ReachabilityResult
 from .semantics import ExplicitContext, GlobalVal, LocalVal
 
@@ -75,7 +76,12 @@ class BebopSolver:
 
         while worklist:
             if len(path_edges) > max_path_edges:
-                raise MemoryError("bebop baseline exceeded its path-edge budget")
+                raise ExplorationBudgetExceeded(
+                    "bebop baseline exceeded its path-edge budget",
+                    resource="path-edges",
+                    consumed=len(path_edges),
+                    budget=max_path_edges,
+                )
             procedure, entry_l, entry_g, pc, locals_, globals_ = worklist.popleft()
             iterations += 1
             if (module_of(procedure), pc) in targets:

@@ -20,6 +20,7 @@ from ..algorithms.result import ReachabilityResult
 from ..boolprog import build_cfg, check_concurrent_program
 from ..boolprog.concurrent import ConcurrentProgram
 from ..boolprog.transform import merge_threads
+from ..errors import ExplorationBudgetExceeded
 from .semantics import ExplicitContext, GlobalVal, LocalVal
 
 __all__ = ["ConcurrentExplicitSolver", "run_concurrent_explicit"]
@@ -126,7 +127,12 @@ class ConcurrentExplicitSolver:
         iterations = 0
         while frontier:
             if len(seen) > max_configurations:
-                raise MemoryError("explicit concurrent exploration exceeded its budget")
+                raise ExplorationBudgetExceeded(
+                    "explicit concurrent exploration exceeded its configuration budget",
+                    resource="configurations",
+                    consumed=len(seen),
+                    budget=max_configurations,
+                )
             active, switches, globals_, threads = frontier.popleft()
             iterations += 1
             # Target check on the active thread's top frame.

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from ..algorithms.result import ReachabilityResult
 from ..boolprog import Program, build_cfg, check_program
+from ..errors import ExplorationBudgetExceeded
 from .semantics import ExplicitContext, GlobalVal, LocalVal
 
 __all__ = ["MopedSolver", "run_moped"]
@@ -174,7 +175,12 @@ class MopedSolver:
         iterations = 0
         while worklist:
             if len(relation) > max_transitions:
-                raise MemoryError("moped baseline exceeded its transition budget")
+                raise ExplorationBudgetExceeded(
+                    "moped baseline exceeded its transition budget",
+                    resource="transitions",
+                    consumed=len(relation),
+                    budget=max_transitions,
+                )
             transition = worklist.popleft()
             pending.discard(transition)
             if transition in relation:

@@ -67,6 +67,7 @@ bookkeeping in one step so per-run snapshots do not leak across runs.
 
 from __future__ import annotations
 
+import time
 from typing import (
     Callable,
     Dict,
@@ -78,6 +79,8 @@ from typing import (
     Tuple,
     Union,
 )
+
+from ..errors import AnalysisTimeout, NodeBudgetExceeded
 
 __all__ = ["BddManager", "BddError", "QuantCube"]
 
@@ -207,6 +210,16 @@ class BddManager:
         self._cache_limit = cache_limit
         self._gc_collections = 0
         self._gc_reclaimed = 0
+        # Cooperative resource limits (see set_node_budget / set_deadline).
+        # The deadline is checked at GC safe points and, via a countdown, at
+        # node-allocation checkpoints so runaway apply loops stay bounded
+        # without paying a clock read per node.
+        self._node_budget: Optional[int] = None
+        self._deadline: Optional[float] = None
+        self._deadline_budget: Optional[float] = None
+        self._deadline_started: Optional[float] = None
+        self._deadline_interval = 1024
+        self._deadline_countdown = self._deadline_interval
         # Variable bookkeeping.
         self._var_names: List[str] = []
         self._name_to_var: Dict[str, int] = {}
@@ -291,6 +304,16 @@ class BddManager:
             self._live += 1
             if self._live > self._peak_live:
                 self._peak_live = self._live
+            # Apply-loop checkpoints: every allocation is a consistent point
+            # (the new node is valid, caches untouched), so raising here
+            # leaves the manager releasable.
+            if self._node_budget is not None and self._live > self._node_budget:
+                raise NodeBudgetExceeded(consumed=self._live, budget=self._node_budget)
+            if self._deadline is not None:
+                self._deadline_countdown -= 1
+                if self._deadline_countdown <= 0:
+                    self._deadline_countdown = self._deadline_interval
+                    self._check_deadline()
         return (index << 1) | sign
 
     # ------------------------------------------------------------------
@@ -1370,6 +1393,49 @@ class BddManager:
         except ValueError:
             pass
 
+    # ------------------------------------------------------------------
+    # Cooperative resource limits
+    # ------------------------------------------------------------------
+    def set_node_budget(self, budget: Optional[int]) -> None:
+        """Bound the live-node count; ``None`` removes the bound.
+
+        Crossing the budget at an allocation checkpoint or a GC safe point
+        raises :class:`repro.errors.NodeBudgetExceeded`.  Setting a budget
+        also pulls the GC trigger below it so a sweep gets a chance to
+        reclaim garbage before the hard bound is hit.
+        """
+        self._node_budget = budget
+        if budget is not None:
+            self._gc_threshold = min(self._gc_threshold, max(1024, budget // 2))
+
+    def set_deadline(self, seconds: float) -> None:
+        """Arm a wall-clock deadline ``seconds`` from now for this manager.
+
+        Expiry raises :class:`repro.errors.AnalysisTimeout` at the next
+        checkpoint: unconditionally at GC safe points, and every
+        ``_deadline_interval`` node allocations inside apply loops (the
+        first allocation after arming always checks, so an already-expired
+        deadline trips immediately).  Call :meth:`clear_deadline` when the
+        governed query finishes.
+        """
+        self._deadline_started = time.monotonic()
+        self._deadline_budget = float(seconds)
+        self._deadline = self._deadline_started + float(seconds)
+        self._deadline_countdown = 1
+
+    def clear_deadline(self) -> None:
+        """Disarm the wall-clock deadline (idempotent)."""
+        self._deadline = None
+        self._deadline_budget = None
+        self._deadline_started = None
+        self._deadline_countdown = self._deadline_interval
+
+    def _check_deadline(self) -> None:
+        now = time.monotonic()
+        if self._deadline is not None and now >= self._deadline:
+            started = self._deadline_started if self._deadline_started is not None else now
+            raise AnalysisTimeout(consumed=now - started, budget=self._deadline_budget)
+
     def collect_garbage(self, roots: Iterable[int] = ()) -> int:
         """Mark-and-sweep collection; returns the number of reclaimed nodes.
 
@@ -1428,10 +1494,25 @@ class BddManager:
         the surviving live set so mostly-live tables do not thrash.  The
         optional ``cache_limit`` trigger drops oversized operation caches
         even when no collection runs.
+
+        Safe points also enforce the cooperative limits: an armed deadline
+        is checked unconditionally, and a node budget that remains exceeded
+        *after* a sweep (the retained live set alone is over budget) raises
+        :class:`repro.errors.NodeBudgetExceeded`.
         """
+        if self._deadline is not None:
+            self._check_deadline()
         if self._gc_enabled and self._live >= self._gc_threshold:
             self.collect_garbage(roots)
             self._gc_threshold = max(self._gc_floor, int(self._live * self._gc_growth))
+            if self._node_budget is not None:
+                self._gc_threshold = min(
+                    self._gc_threshold, max(1024, self._node_budget // 2)
+                )
+                if self._live > self._node_budget:
+                    raise NodeBudgetExceeded(
+                        consumed=self._live, budget=self._node_budget
+                    )
             return True
         if self._cache_limit is not None and self._cache_entries() > self._cache_limit:
             self._drop_op_caches()
@@ -1528,6 +1609,10 @@ class BddManager:
                 "reclaimed": self._gc_reclaimed,
                 "external_roots": len(self._extref),
                 "free_slots": len(self._free),
+            },
+            "limits": {
+                "node_budget": self._node_budget,
+                "deadline_armed": self._deadline is not None,
             },
         }
 

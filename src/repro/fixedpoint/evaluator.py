@@ -25,13 +25,22 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional
 
+from ..errors import ResourceExhausted
 from .relations import EquationSystem
 
 __all__ = ["EvaluationError", "EvaluationResult", "evaluate_nested", "evaluate_simultaneous"]
 
 
-class EvaluationError(Exception):
-    """Raised when evaluation exceeds its iteration budget (non-termination guard)."""
+class EvaluationError(ResourceExhausted):
+    """Raised when evaluation exceeds its iteration budget (non-termination guard).
+
+    A :class:`repro.errors.ResourceExhausted` subclass (``resource ==
+    "iterations"``) so the batch layer classifies a blown iteration budget
+    as a resource failure, with ``consumed``/``budget`` carrying the
+    iteration counts.
+    """
+
+    resource = "iterations"
 
 
 @dataclass
@@ -154,7 +163,9 @@ def evaluate_nested(
             iterations += 1
             if iterations > max_iterations:
                 raise EvaluationError(
-                    f"relation {name!r} did not stabilise within {max_iterations} iterations"
+                    f"relation {name!r} did not stabilise within {max_iterations} iterations",
+                    consumed=iterations,
+                    budget=max_iterations,
                 )
             env = dict(fixed)
             env[name] = current
@@ -246,7 +257,9 @@ def evaluate_simultaneous(
         iterations += 1
         if iterations > max_iterations:
             raise EvaluationError(
-                f"system did not stabilise within {max_iterations} iterations"
+                f"system did not stabilise within {max_iterations} iterations",
+                consumed=iterations,
+                budget=max_iterations,
             )
         changed = False
         for name, equation in system.equations.items():

@@ -47,6 +47,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..bdd import BddError, BddManager
+from ..testing import faults
 from .formulas import (
     And,
     BoolAtom,
@@ -678,8 +679,13 @@ class SymbolicBackend:
         needs (current/updated relation values and the fixed inputs); the
         statically protected plan skeletons are already tracked as external
         references.  Returns True when a collection actually ran.
+
+        Safe points are also where the manager enforces an armed deadline /
+        node budget (see :meth:`BddManager.maybe_collect`) and where the
+        fault-injection harness can raise deterministically.
         """
         self.gc_steps += 1
+        faults.on_safe_point()
         collected = self.manager.maybe_collect(roots)
         if collected:
             self.gc_collections += 1

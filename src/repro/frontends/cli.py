@@ -5,7 +5,9 @@ apart without parsing output:
 
 * ``0`` — every query answered NO (target unreachable),
 * ``1`` — at least one query answered YES (target reachable),
-* ``2`` — usage, I/O, parse or static-semantics error (message on stderr).
+* ``2`` — usage, I/O, parse or static-semantics error (message on stderr),
+* ``3`` — a resource envelope was exhausted (``--deadline``, ``--node-budget``,
+  ``--max-iterations`` or a ``--shard-timeout``) before an answer was found.
 
 A single file with a single target runs in-process and prints the classic
 one-result summary.  Several files and/or several ``--target`` options form
@@ -30,6 +32,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..boolprog import BoolProgError, parse_concurrent_program, parse_program
+from ..errors import ResourceExhausted
+from ..limits import ResourceLimits
 from .getafix import (
     _resolve_concurrent_target,
     check_concurrent_reachability,
@@ -43,6 +47,7 @@ __all__ = ["main", "build_arg_parser"]
 EXIT_UNREACHABLE = 0
 EXIT_REACHABLE = 1
 EXIT_ERROR = 2
+EXIT_RESOURCE = 3
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -108,8 +113,75 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "gets its own shard and solve (restores the strict one-query-per-shard "
         "fan-out, e.g. to parallelise many targets on one file across --jobs)",
     )
+    limits = parser.add_argument_group(
+        "resource limits",
+        "bound what a query may consume; exhaustion exits with status 3 "
+        "instead of hanging or dying on an opaque MemoryError",
+    )
+    limits.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query wall-clock deadline, enforced cooperatively inside "
+        "the BDD kernel (0 trips on the first allocation)",
+    )
+    limits.add_argument(
+        "--node-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on live BDD nodes per query; exceeding it raises a typed "
+        "error after a last-chance garbage collection",
+    )
+    limits.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fixed-point iteration budget per query (default: engine default)",
+    )
+    limits.add_argument(
+        "--degrade",
+        action="store_true",
+        help="on exhaustion, retry the query once with a cheaper algorithm "
+        "(ef-opt/ef -> summary); the result records degraded_from",
+    )
+    limits.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="driver-side timeout per pooled shard group; a stuck worker is "
+        "abandoned, its pool rebuilt, and its queries marked timeout",
+    )
+    limits.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="pool-rebuild retries for shards whose worker crashed "
+        "(default: 2; completed shard results are always preserved)",
+    )
     parser.add_argument("--json", action="store_true", help="emit the result as JSON")
     return parser
+
+
+def _build_limits(args: argparse.Namespace) -> Optional[ResourceLimits]:
+    """Fold the limit flags into a :class:`ResourceLimits`, or None if unset."""
+    if (
+        args.deadline is None
+        and args.node_budget is None
+        and args.max_iterations is None
+        and not args.degrade
+    ):
+        return None
+    return ResourceLimits(
+        deadline_seconds=args.deadline,
+        node_budget=args.node_budget,
+        max_iterations=args.max_iterations,
+        degrade=args.degrade,
+    )
 
 
 def _prepare_queries(args: argparse.Namespace, sources: List[str]) -> Optional[List[tuple]]:
@@ -145,27 +217,46 @@ def _prepare_queries(args: argparse.Namespace, sources: List[str]) -> Optional[L
     return prepared
 
 
-def _run_single(args: argparse.Namespace, program: object, locations: List[tuple]) -> int:
+def _run_single(
+    args: argparse.Namespace,
+    program: object,
+    locations: List[tuple],
+    limits: Optional[ResourceLimits],
+) -> int:
     """Classic single-query path: one file, one target, in-process."""
-    if args.concurrent:
-        result = check_concurrent_reachability(
-            program,
-            target=locations,
-            context_switches=args.context_switches,
-            early_stop=not args.no_early_stop,
-        )
-    else:
-        result = check_reachability(
-            program,
-            target=locations,
-            algorithm=args.algorithm,
-            early_stop=not args.no_early_stop,
-        )
+    try:
+        if args.concurrent:
+            result = check_concurrent_reachability(
+                program,
+                target=locations,
+                context_switches=args.context_switches,
+                early_stop=not args.no_early_stop,
+                limits=limits,
+            )
+        else:
+            result = check_reachability(
+                program,
+                target=locations,
+                algorithm=args.algorithm,
+                early_stop=not args.no_early_stop,
+                limits=limits,
+            )
+    except ResourceExhausted as exc:
+        if args.json:
+            print(json.dumps({"error": str(exc), **exc.detail()}, indent=2))
+        else:
+            print(f"getafix: {args.files[0]}: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE
     if args.json:
         print(json.dumps(asdict(result), indent=2, default=str))
     else:
         answer = "YES: the target is reachable" if result.reachable else "NO: the target is unreachable"
         print(answer)
+        if result.degraded_from is not None:
+            print(
+                f"note: {result.degraded_from} exhausted its budget; "
+                f"answer comes from the {result.algorithm} fallback"
+            )
         print(
             f"algorithm={result.algorithm} iterations={result.iterations} "
             f"summary-BDD-nodes={result.summary_nodes} time={result.total_seconds:.3f}s"
@@ -173,7 +264,11 @@ def _run_single(args: argparse.Namespace, program: object, locations: List[tuple
     return EXIT_REACHABLE if result.reachable else EXIT_UNREACHABLE
 
 
-def _run_batch(args: argparse.Namespace, prepared: List[tuple]) -> int:
+def _run_batch(
+    args: argparse.Namespace,
+    prepared: List[tuple],
+    limits: Optional[ResourceLimits],
+) -> int:
     """Batch path: every (file, target) pair is one shard."""
     from ..algorithms import run_batch
     from ..parallel import BatchQuery
@@ -198,7 +293,14 @@ def _run_batch(args: argparse.Namespace, prepared: List[tuple]) -> int:
                     early_stop=not args.no_early_stop,
                 )
             )
-    report = run_batch(queries, jobs=args.jobs, group_by_program=not args.no_group)
+    report = run_batch(
+        queries,
+        jobs=args.jobs,
+        group_by_program=not args.no_group,
+        limits=limits,
+        shard_timeout=args.shard_timeout,
+        max_retries=args.retries,
+    )
     if args.json:
         print(
             json.dumps(
@@ -222,6 +324,11 @@ def _run_batch(args: argparse.Namespace, prepared: List[tuple]) -> int:
     if failures:
         for shard in failures:
             print(f"getafix: {shard.name}: {shard.error}", file=sys.stderr)
+        # Genuine errors (crashes, parse failures) outrank resource
+        # exhaustion: only a batch whose every failure is a budget or
+        # timeout hit gets the distinguishable status 3.
+        if all(shard.status in ("timeout", "resource") for shard in failures):
+            return EXIT_RESOURCE
         return EXIT_ERROR
     return EXIT_REACHABLE if report.any_reachable else EXIT_UNREACHABLE
 
@@ -234,6 +341,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.targets = ["error"]
     if args.jobs < 1:
         print(f"getafix: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        limits = _build_limits(args)
+    except ValueError as exc:
+        print(f"getafix: {exc}", file=sys.stderr)
         return EXIT_ERROR
     # Repeating the same --target twice would only duplicate shards.
     args.targets = list(dict.fromkeys(args.targets))
@@ -248,8 +360,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if len(prepared) == 1 and len(args.targets) == 1 and args.jobs == 1:
             path, program, resolved = prepared[0]
-            return _run_single(args, program, resolved[args.targets[0]])
-        return _run_batch(args, prepared)
+            return _run_single(args, program, resolved[args.targets[0]], limits)
+        return _run_batch(args, prepared, limits)
     except BoolProgError as exc:
         # Static-semantics errors surface when the engine validates the
         # program; they are user errors, unlike any other engine exception.

@@ -13,10 +13,11 @@ friendly target specification and an algorithm name, and returns a
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..algorithms import ReachabilityResult, run_concurrent, run_sequential
 from ..algorithms.engine import SEQUENTIAL_ALGORITHMS
+from ..limits import ResourceLimits
 from ..boolprog import (
     ConcurrentProgram,
     Program,
@@ -113,11 +114,15 @@ def check_reachability(
     target: TargetSpec = "error",
     algorithm: str = "ef-opt",
     early_stop: bool = True,
+    limits: Optional[ResourceLimits] = None,
 ) -> ReachabilityResult:
     """Answer "is the target statement reachable?" for a sequential program.
 
     ``algorithm`` is one of ``"summary"``, ``"ef"`` or ``"ef-opt"`` (the three
     fixed-point formulations of Section 4, in increasing order of efficiency).
+    ``limits`` is an optional :class:`~repro.limits.ResourceLimits` envelope;
+    see :func:`repro.algorithms.run_sequential` for its exhaustion and
+    degradation semantics.
     """
     if algorithm not in SEQUENTIAL_ALGORITHMS:
         raise ValueError(
@@ -125,7 +130,9 @@ def check_reachability(
         )
     parsed = _as_program(program)
     locations = resolve_target(parsed, target)
-    return run_sequential(parsed, locations, algorithm=algorithm, early_stop=early_stop)
+    return run_sequential(
+        parsed, locations, algorithm=algorithm, early_stop=early_stop, limits=limits
+    )
 
 
 def check_concurrent_reachability(
@@ -134,6 +141,7 @@ def check_concurrent_reachability(
     context_switches: int = 2,
     early_stop: bool = True,
     count_states: bool = False,
+    limits: Optional[ResourceLimits] = None,
 ) -> ReachabilityResult:
     """Bounded context-switching reachability for a concurrent program."""
     parsed = _as_concurrent(program)
@@ -144,4 +152,5 @@ def check_concurrent_reachability(
         context_switches=context_switches,
         early_stop=early_stop,
         count_states=count_states,
+        limits=limits,
     )

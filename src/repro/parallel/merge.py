@@ -85,6 +85,27 @@ class BatchReport:
     def any_reachable(self) -> bool:
         return any(s.ok and s.result is not None and s.result.reachable for s in self.shards)
 
+    # -- failure taxonomy -----------------------------------------------
+    def status_counts(self) -> Dict[str, int]:
+        """Shard count per status (``ok/retried/timeout/resource/crashed``)."""
+        counts: Dict[str, int] = {}
+        for shard in self.shards:
+            counts[shard.status] = counts.get(shard.status, 0) + 1
+        return counts
+
+    @property
+    def retried_count(self) -> int:
+        """Shards that succeeded only after a pool rebuild and re-run."""
+        return sum(1 for shard in self.shards if shard.status == "retried")
+
+    def resource_failures(self) -> List[ShardResult]:
+        """Failed shards that hit a resource envelope (timeout/budget)."""
+        return [shard for shard in self.shards if shard.status in ("timeout", "resource")]
+
+    def crash_failures(self) -> List[ShardResult]:
+        """Failed shards whose worker died or raised unexpectedly."""
+        return [shard for shard in self.shards if not shard.ok and shard.status == "crashed"]
+
     def verdicts(self) -> Dict[str, Optional[bool]]:
         """Per-query verdict by name (None for failed shards)."""
         return {
@@ -108,13 +129,14 @@ class BatchReport:
     def format_table(self, kernel_stats: bool = True) -> str:
         """Plain-text table: one row per shard, optional kernel stat columns."""
         header = (
-            f"{'query':32s}  {'verdict':>7s}  {'iters':>6s}  {'nodes':>8s}  "
-            f"{'live':>7s}  {'gc':>3s}  {'reuse':>5s}  {'time (s)':>8s}  {'pid':>7s}"
+            f"{'query':32s}  {'verdict':>7s}  {'status':>8s}  {'iters':>6s}  "
+            f"{'nodes':>8s}  {'live':>7s}  {'gc':>3s}  {'reuse':>5s}  "
+            f"{'time (s)':>8s}  {'pid':>7s}"
         )
         lines = [header, "-" * len(header)]
         for shard in self.shards:
             if not shard.ok:
-                lines.append(f"{shard.name:32s}  ERROR: {shard.error}")
+                lines.append(f"{shard.name:32s}  ERROR[{shard.status}]: {shard.error}")
                 continue
             result = shard.result
             verdict = result.verdict()
@@ -123,17 +145,24 @@ class BatchReport:
             live = shard.live_nodes()
             gc = shard.gc_collections()
             lines.append(
-                f"{shard.name:32s}  {verdict:>7s}  {result.iterations:6d}  "
+                f"{shard.name:32s}  {verdict:>7s}  {shard.status:>8s}  "
+                f"{result.iterations:6d}  "
                 f"{result.summary_nodes:8d}  "
                 f"{live if live is not None else 0:7d}  "
                 f"{gc if gc is not None else 0:3d}  "
                 f"{'yes' if shard.reused_solve else 'no':>5s}  "
                 f"{shard.elapsed_seconds:8.2f}  {shard.pid:7d}"
             )
+        status_note = " ".join(
+            f"{status}={count}"
+            for status, count in sorted(self.status_counts().items())
+            if status != "ok"
+        )
         lines.append(
             f"batch: mode={self.mode} jobs={self.jobs} workers={len(self.worker_pids())} "
             f"wall={self.wall_seconds:.2f}s shard-total={self.shard_seconds:.2f}s "
             f"speedup={self.speedup:.2f}x queries/solve={self.queries_per_solve:.2f}"
+            + (f" statuses: {status_note}" if status_note else "")
         )
         if self.fallback_reason:
             lines.append(f"fallback: {self.fallback_reason}")
@@ -159,7 +188,10 @@ class BatchReport:
                 "name": shard.name,
                 "pid": shard.pid,
                 "elapsed_seconds": shard.elapsed_seconds,
+                "status": shard.status,
             }
+            if shard.retries:
+                row["retries"] = shard.retries
             if shard.ok and shard.result is not None:
                 result = shard.result
                 row.update(
@@ -173,8 +205,12 @@ class BatchReport:
                     gc_collections=shard.gc_collections(),
                     reused_solve=shard.reused_solve,
                 )
+                if result.degraded_from is not None:
+                    row["degraded_from"] = result.degraded_from
             else:
                 row["error"] = shard.error
+                if shard.error_detail is not None:
+                    row["error_detail"] = shard.error_detail
             out.append(row)
         return out
 

@@ -50,6 +50,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..algorithms.result import ReachabilityResult
+from ..errors import AnalysisTimeout, ResourceExhausted
+from ..limits import DEGRADATION_LADDER, ResourceLimits
+from ..testing import faults
 
 __all__ = ["BatchQuery", "ShardResult", "run_shard", "run_shard_group", "run_shards"]
 
@@ -81,6 +84,11 @@ class BatchQuery:
         Stop the fixed point as soon as the target is known reachable.
     expected:
         Optional known verdict; merged reports flag mismatches.
+    limits:
+        Optional :class:`~repro.limits.ResourceLimits` envelope enforced in
+        the worker (deadline, node budget, iteration budget, degradation
+        ladder).  Part of the session-sharing group key: queries under
+        different envelopes never share a session.
     """
 
     name: str
@@ -91,6 +99,7 @@ class BatchQuery:
     context_switches: int = 2
     early_stop: bool = True
     expected: Optional[bool] = None
+    limits: Optional[ResourceLimits] = None
 
 
 @dataclass
@@ -107,6 +116,25 @@ class ShardResult:
     a session's already-solved fixed point instead of its own evaluation
     (see :func:`run_shard_group`); the report's ``queries_per_solve``
     aggregates it.
+
+    ``status`` is the failure/recovery taxonomy the batch layer reports:
+
+    ``"ok"``
+        Clean success on the first attempt.
+    ``"retried"``
+        Success, but only after the scheduler rebuilt a broken pool and
+        re-ran this shard (``retries`` counts the extra attempts).
+    ``"timeout"``
+        The query hit its wall-clock envelope — either the worker raised
+        :class:`~repro.errors.AnalysisTimeout` or the driver-side
+        ``shard_timeout`` expired.
+    ``"resource"``
+        Any other :class:`~repro.errors.ResourceExhausted` (node budget,
+        iteration budget, a baseline's exploration budget); ``error_detail``
+        carries the consumed-vs-budget record.
+    ``"crashed"``
+        The worker process died or raised an unexpected exception;
+        repeatedly-crashing shards are quarantined with this status.
     """
 
     name: str
@@ -116,6 +144,9 @@ class ShardResult:
     elapsed_seconds: float = 0.0
     expected: Optional[bool] = None
     reused_solve: bool = False
+    status: str = "ok"
+    retries: int = 0
+    error_detail: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -146,6 +177,50 @@ class ShardResult:
         return count if isinstance(count, int) else 0
 
 
+def _classify(exc: BaseException) -> Tuple[str, Optional[Dict[str, object]]]:
+    """Map a worker-side exception to the ShardResult status taxonomy."""
+    if isinstance(exc, AnalysisTimeout):
+        return "timeout", exc.detail()
+    if isinstance(exc, ResourceExhausted):
+        return "resource", exc.detail()
+    return "crashed", None
+
+
+def _failure_shard(query: BatchQuery, exc: BaseException, elapsed: float) -> ShardResult:
+    """A structured error result for one query (status + budget detail)."""
+    status, detail = _classify(exc)
+    return ShardResult(
+        name=query.name,
+        error=f"{type(exc).__name__}: {exc}",
+        pid=os.getpid(),
+        elapsed_seconds=elapsed,
+        expected=query.expected,
+        status=status,
+        error_detail=detail,
+    )
+
+
+def _session_check(session, query: BatchQuery):
+    """One session query with the optional degradation ladder applied."""
+    try:
+        return session.check(
+            query.target, algorithm=query.algorithm, early_stop=query.early_stop
+        )
+    except ResourceExhausted:
+        fallback = (
+            DEGRADATION_LADDER.get(query.algorithm)
+            if query.limits is not None and query.limits.degrade
+            else None
+        )
+        if fallback is None:
+            raise
+        result = session.check(
+            query.target, algorithm=fallback, early_stop=query.early_stop
+        )
+        result.degraded_from = query.algorithm
+        return result
+
+
 def run_shard(query: BatchQuery) -> ShardResult:
     """Worker entry point: run one query with a private solver stack.
 
@@ -153,7 +228,9 @@ def run_shard(query: BatchQuery) -> ShardResult:
     module) and builds a fresh ``SymbolicBackend``/``BddManager`` pair via
     the engine — nothing is shared with the driver process or any sibling
     shard, so the per-shard ``result.stats`` snapshot is exactly the kernel
-    activity of this one query.
+    activity of this one query.  A :class:`~repro.errors.ResourceExhausted`
+    failure is reported with status ``timeout``/``resource`` and its
+    consumed-vs-budget detail; anything else is ``crashed``.
     """
     from ..frontends.getafix import check_concurrent_reachability, check_reachability
 
@@ -165,6 +242,7 @@ def run_shard(query: BatchQuery) -> ShardResult:
                 target=query.target,
                 context_switches=query.context_switches,
                 early_stop=query.early_stop,
+                limits=query.limits,
             )
         else:
             result = check_reachability(
@@ -172,6 +250,7 @@ def run_shard(query: BatchQuery) -> ShardResult:
                 target=query.target,
                 algorithm=query.algorithm,
                 early_stop=query.early_stop,
+                limits=query.limits,
             )
         return ShardResult(
             name=query.name,
@@ -181,13 +260,7 @@ def run_shard(query: BatchQuery) -> ShardResult:
             expected=query.expected,
         )
     except Exception as exc:  # noqa: BLE001 — a shard failure must not kill the batch
-        return ShardResult(
-            name=query.name,
-            error=f"{type(exc).__name__}: {exc}",
-            pid=os.getpid(),
-            elapsed_seconds=time.perf_counter() - started,
-            expected=query.expected,
-        )
+        return _failure_shard(query, exc, time.perf_counter() - started)
 
 
 def run_shard_group(queries: Sequence[BatchQuery]) -> List[ShardResult]:
@@ -211,6 +284,12 @@ def run_shard_group(queries: Sequence[BatchQuery]) -> List[ShardResult]:
     those columns across the rows of one group double-counts.
     """
     queries = list(queries)
+    try:
+        # Fault-injection hook: may sleep, raise, or (in a pool worker only)
+        # kill the process, exercising the scheduler's recovery paths.
+        faults.on_shard([query.name for query in queries])
+    except Exception as exc:  # noqa: BLE001 — an injected raise fails the group cleanly
+        return [_failure_shard(query, exc, 0.0) for query in queries]
     if len(queries) == 1:
         return [run_shard(queries[0])]
     from ..api.session import SessionSpec
@@ -219,19 +298,12 @@ def run_shard_group(queries: Sequence[BatchQuery]) -> List[ShardResult]:
     started = time.perf_counter()
     try:
         session = SessionSpec(
-            program=head.program, default_algorithm=head.algorithm
+            program=head.program, default_algorithm=head.algorithm, limits=head.limits
         ).open()
     except Exception as exc:  # noqa: BLE001 — group setup failure hits every query
-        error = f"{type(exc).__name__}: {exc}"
         elapsed = time.perf_counter() - started
         return [
-            ShardResult(
-                name=query.name,
-                error=error,
-                pid=os.getpid(),
-                elapsed_seconds=elapsed if index == 0 else 0.0,
-                expected=query.expected,
-            )
+            _failure_shard(query, exc, elapsed if index == 0 else 0.0)
             for index, query in enumerate(queries)
         ]
     # Session construction (parse/validate/CFG) is shared cost the singleton
@@ -261,9 +333,7 @@ def run_shard_group(queries: Sequence[BatchQuery]) -> List[ShardResult]:
         for index, query in enumerate(queries):
             query_started = time.perf_counter()
             try:
-                result = session.check(
-                    query.target, algorithm=query.algorithm, early_stop=query.early_stop
-                )
+                result = _session_check(session, query)
                 reused = bool(result.details.get("reused_solve"))
                 if not solve_attributed:
                     reused = False
@@ -284,18 +354,16 @@ def run_shard_group(queries: Sequence[BatchQuery]) -> List[ShardResult]:
                     )
                 )
             except Exception as exc:  # noqa: BLE001 — one bad target, not the group
+                # Index 0 still carries the setup/solve wall time so the
+                # report's shard_seconds/speedup accounting does not lose it
+                # when the first query errors.
                 results.append(
-                    ShardResult(
-                        name=query.name,
-                        error=f"{type(exc).__name__}: {exc}",
-                        pid=os.getpid(),
-                        # Index 0 still carries the setup/solve wall time so
-                        # the report's shard_seconds/speedup accounting does
-                        # not lose it when the first query errors.
-                        elapsed_seconds=time.perf_counter()
+                    _failure_shard(
+                        query,
+                        exc,
+                        time.perf_counter()
                         - query_started
                         + (first_query_overhead if index == 0 else 0.0),
-                        expected=query.expected,
                     )
                 )
     finally:
@@ -313,7 +381,9 @@ def _group_key(query: BatchQuery, index: int):
     if query.concurrent:
         return ("solo", index)
     program_key = query.program if isinstance(query.program, str) else id(query.program)
-    return ("session", program_key, query.algorithm)
+    # Limits are frozen (hashable) and govern the shared session, so queries
+    # under different envelopes must not share one.
+    return ("session", program_key, query.algorithm, query.limits)
 
 
 def group_queries(queries: Sequence[BatchQuery]) -> List[List[int]]:
@@ -329,8 +399,8 @@ def group_queries(queries: Sequence[BatchQuery]) -> List[List[int]]:
     return list(groups.values())
 
 
-def _batch_is_picklable(queries: Sequence[BatchQuery]) -> bool:
-    """Feasibility probe: can this batch cross a process boundary?"""
+def _group_is_picklable(queries: Sequence[BatchQuery]) -> bool:
+    """Feasibility probe: can this shard group cross a process boundary?"""
     try:
         pickle.dumps(list(queries))
         return True
@@ -338,11 +408,224 @@ def _batch_is_picklable(queries: Sequence[BatchQuery]) -> bool:
         return False
 
 
+def _pool_entry(
+    queries: List[BatchQuery], fault_plan: Optional[faults.FaultPlan] = None
+) -> List[ShardResult]:
+    """Pool worker entry point: install the fault plan, run the group.
+
+    Workers are reused across groups, so the plan is (re)installed on every
+    call; ``worker=True`` marks the process as a pool worker, which is the
+    only place injected kills are allowed to fire.
+    """
+    if fault_plan is not None:
+        faults.install(fault_plan, worker=True)
+    return run_shard_group(queries)
+
+
+def _mark_retried(results: List[ShardResult], attempts: int) -> List[ShardResult]:
+    """Record that a group only completed after ``attempts`` re-runs."""
+    if attempts > 0:
+        for shard in results:
+            shard.retries = attempts
+            if shard.status == "ok":
+                shard.status = "retried"
+    return results
+
+
+def _timeout_results(
+    queries: Sequence[BatchQuery], timeout_seconds: float, attempts: int
+) -> List[ShardResult]:
+    """Quarantine a group whose worker exceeded the driver-side timeout."""
+    detail = {
+        "type": "AnalysisTimeout",
+        "resource": "wall-clock",
+        "consumed": timeout_seconds,
+        "budget": timeout_seconds,
+    }
+    return [
+        ShardResult(
+            name=query.name,
+            error=(
+                f"AnalysisTimeout: shard exceeded the driver-side "
+                f"{timeout_seconds:g}s timeout"
+            ),
+            elapsed_seconds=timeout_seconds if index == 0 else 0.0,
+            expected=query.expected,
+            status="timeout",
+            retries=attempts,
+            error_detail=dict(detail),
+        )
+        for index, query in enumerate(queries)
+    ]
+
+
+def _crashed_results(queries: Sequence[BatchQuery], attempts: int) -> List[ShardResult]:
+    """Quarantine a group whose worker died on every attempt."""
+    return [
+        ShardResult(
+            name=query.name,
+            error=(
+                "BrokenProcessPool: worker process died running this shard "
+                f"({attempts} attempt(s))"
+            ),
+            expected=query.expected,
+            status="crashed",
+            retries=max(0, attempts - 1),
+        )
+        for query in queries
+    ]
+
+
+def _terminate_pool(pool) -> None:
+    """Tear a pool down without waiting on stuck or dead workers."""
+    processes = getattr(pool, "_processes", None)
+    for process in list((processes or {}).values()):
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001 — already-dead workers are fine
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_pool_groups(
+    grouped: Dict[int, List[BatchQuery]],
+    jobs: int,
+    context,
+    shard_timeout: Optional[float],
+    max_retries: int,
+    retry_backoff: float,
+    fault_plan: Optional[faults.FaultPlan],
+) -> Dict[int, List[ShardResult]]:
+    """Run picklable groups over a process pool with crash containment.
+
+    Returns ``{group index: [ShardResult, ...]}`` for every group in
+    ``grouped``.  Failure handling, per round:
+
+    * A dead worker (``BrokenProcessPool``) fails every in-flight future of
+      the pool; finished groups keep their results, the rest are re-run in a
+      rebuilt pool after a bounded exponential backoff.  Once the
+      ``max_retries`` shared-pool rounds are spent, remaining groups run
+      one-per-pool; only a group that crashes *alone* in its own pool is
+      quarantined as structured ``"crashed"`` results — a shared-round crash
+      is ambiguous (the broken pool fails innocents alongside the culprit)
+      and never convicts.
+    * A group exceeding the driver-side ``shard_timeout`` is quarantined as
+      ``"timeout"`` results and its (presumed stuck) pool is torn down;
+      unfinished siblings are re-run, finished ones are harvested first.
+
+    A round that neither completes nor convicts any group raises, which the
+    caller turns into the whole-batch sequential fallback.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FutureTimeout
+    from concurrent.futures.process import BrokenProcessPool
+
+    completed: Dict[int, List[ShardResult]] = {}
+    crash_counts: Dict[int, int] = {index: 0 for index in grouped}
+    pending: List[int] = sorted(grouped)
+    round_number = 0
+    while pending:
+        round_number += 1
+        attempts_so_far = round_number - 1
+        # After max_retries shared rounds, isolate: one group per pool.
+        isolate = round_number > max_retries + 1
+        batches = [[index] for index in pending] if isolate else [pending]
+        next_pending: List[int] = []
+        progress = False
+        crashed_this_round = False
+        for batch in batches:
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(batch)), mp_context=context
+            )
+            futures: Dict[object, int] = {}
+            try:
+                for index in batch:
+                    futures[pool.submit(_pool_entry, grouped[index], fault_plan)] = index
+            except Exception:  # noqa: BLE001 — pool broke during submission
+                crashed_this_round = True
+            crashed_now: List[int] = []
+            abandon = False
+            for future, index in futures.items():
+                if abandon:
+                    # The pool is condemned (stuck or broken): harvest what
+                    # finished, requeue the rest without penalty.
+                    if future.done():  # type: ignore[attr-defined]
+                        try:
+                            completed[index] = _mark_retried(
+                                future.result(), attempts_so_far  # type: ignore[attr-defined]
+                            )
+                            progress = True
+                        except BrokenProcessPool:
+                            crashed_now.append(index)
+                        except Exception as exc:  # noqa: BLE001
+                            completed[index] = [
+                                _failure_shard(query, exc, 0.0)
+                                for query in grouped[index]
+                            ]
+                            progress = True
+                    else:
+                        next_pending.append(index)
+                    continue
+                try:
+                    completed[index] = _mark_retried(
+                        future.result(timeout=shard_timeout),  # type: ignore[attr-defined]
+                        attempts_so_far,
+                    )
+                    progress = True
+                except FutureTimeout:
+                    completed[index] = _timeout_results(
+                        grouped[index], shard_timeout or 0.0, attempts_so_far
+                    )
+                    progress = True
+                    abandon = True
+                except BrokenProcessPool:
+                    crashed_now.append(index)
+                    abandon = True
+                except Exception as exc:  # noqa: BLE001 — transport/entry failure
+                    completed[index] = [
+                        _failure_shard(query, exc, 0.0) for query in grouped[index]
+                    ]
+                    progress = True
+            submitted = set(futures.values())
+            for index in batch:
+                if index not in submitted and index not in completed:
+                    next_pending.append(index)
+            if abandon or crashed_this_round:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+            for index in crashed_now:
+                crash_counts[index] += 1
+                progress = True
+                crashed_this_round = True
+                # A crash in a shared pool is ambiguous — BrokenProcessPool
+                # fails every in-flight future, so innocents crash alongside
+                # the culprit.  Only a group that crashed ALONE in its own
+                # pool (an isolation round) is convicted; shared-round
+                # crashes are retried until the isolation rounds begin.
+                if isolate:
+                    completed[index] = _crashed_results(
+                        grouped[index], crash_counts[index]
+                    )
+                else:
+                    next_pending.append(index)
+        if not progress:
+            raise RuntimeError("process pool made no progress on the batch")
+        pending = sorted(set(next_pending) - set(completed))
+        if pending and crashed_this_round:
+            time.sleep(min(retry_backoff * (2 ** (round_number - 1)), 2.0))
+    return completed
+
+
 def run_shards(
     queries: Sequence[BatchQuery],
     jobs: int = 1,
     start_method: Optional[str] = None,
     group_by_program: bool = True,
+    shard_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.05,
+    fault_plan: Optional[faults.FaultPlan] = None,
 ) -> Tuple[List[ShardResult], str, Optional[str]]:
     """Run a batch of queries, fanning out over ``jobs`` worker processes.
 
@@ -351,12 +634,26 @@ def run_shards(
     (see :func:`run_shard_group`); the pool then maps over *groups*, and
     the returned results are flattened back into submission order.
 
+    Fault tolerance (``jobs > 1``): a dead pool worker triggers a pool
+    rebuild and a bounded-backoff retry of only the unfinished groups
+    (completed :class:`ShardResult` lists are preserved, never re-run);
+    groups still crashing after ``max_retries`` shared rounds are re-run in
+    isolation (one per pool) and quarantined as structured ``"crashed"``
+    results only if they crash there too; a group exceeding the driver-side
+    ``shard_timeout`` is quarantined as ``"timeout"`` results — in both
+    cases the rest of the batch completes normally.  Groups that cannot be pickled run inline in
+    the driver instead of demoting the whole batch to the sequential
+    fallback.  ``fault_plan`` ships a deterministic
+    :class:`~repro.testing.faults.FaultPlan` into the workers (tests/CI
+    only).
+
     Returns ``(results, mode, fallback_reason)``: ``results`` preserves
     query order; ``mode`` records how the batch actually ran —
     ``"process-pool"``, ``"sequential"`` (requested with ``jobs <= 1`` or a
     trivial batch) or ``"sequential-fallback"`` (pool unavailable);
     ``fallback_reason`` names the cause of a fallback (unpicklable batch,
-    or the exception that broke the pool) and is None otherwise.
+    the exception that broke the pool, or a note that some unpicklable
+    groups ran inline) and is None otherwise.
     """
     queries = list(queries)
     if group_by_program:
@@ -371,8 +668,23 @@ def run_shards(
                 ordered[index] = shard
         return ordered
 
+    def run_inline(group_indices: Sequence[int]) -> Dict[int, List[ShardResult]]:
+        """Run groups in the driver process, with any fault plan installed
+        (kills stay disabled outside pool workers)."""
+        if fault_plan is not None:
+            faults.install(fault_plan)
+        try:
+            return {
+                gi: run_shard_group([queries[i] for i in groups[gi]])
+                for gi in group_indices
+            }
+        finally:
+            if fault_plan is not None:
+                faults.clear()
+
     def sequential() -> List[ShardResult]:
-        return flatten([run_shard_group([queries[i] for i in group]) for group in groups])
+        per_group = run_inline(range(len(groups)))
+        return flatten([per_group[gi] for gi in range(len(groups))])
 
     if jobs <= 1 or len(groups) <= 1:
         reason = None
@@ -385,18 +697,39 @@ def run_shards(
                 "group_by_program=False to fan out instead"
             )
         return sequential(), "sequential", reason
-    if not _batch_is_picklable(queries):
+
+    grouped_queries = [[queries[i] for i in group] for group in groups]
+    pool_groups: List[int] = []
+    inline_groups: List[int] = []
+    for gi, group_batch in enumerate(grouped_queries):
+        (pool_groups if _group_is_picklable(group_batch) else inline_groups).append(gi)
+    if not pool_groups:
         return sequential(), "sequential-fallback", "batch is not picklable"
     try:
         import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor
 
         context = multiprocessing.get_context(start_method) if start_method else None
-        workers = min(jobs, len(groups))
-        grouped_queries = [[queries[i] for i in group] for group in groups]
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            per_group = list(pool.map(run_shard_group, grouped_queries))
-        return flatten(per_group), "process-pool", None
+        per_group_map = _run_pool_groups(
+            {gi: grouped_queries[gi] for gi in pool_groups},
+            jobs=jobs,
+            context=context,
+            shard_timeout=shard_timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            fault_plan=fault_plan,
+        )
     except Exception as exc:  # pool start-up or transport failure: degrade, don't die
         reason = f"process pool failed: {type(exc).__name__}: {exc}"
         return sequential(), "sequential-fallback", reason
+    if inline_groups:
+        per_group_map.update(run_inline(inline_groups))
+    fallback_reason = None
+    if inline_groups:
+        fallback_reason = (
+            f"{len(inline_groups)} unpicklable group(s) ran inline in the driver"
+        )
+    return (
+        flatten([per_group_map[gi] for gi in range(len(groups))]),
+        "process-pool",
+        fallback_reason,
+    )

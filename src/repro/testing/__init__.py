@@ -1,0 +1,5 @@
+"""Deterministic test scaffolding (fault injection) for the analysis stack."""
+
+from .faults import FaultPlan, active_plan, clear, install
+
+__all__ = ["FaultPlan", "active_plan", "clear", "install"]

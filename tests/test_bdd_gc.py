@@ -411,7 +411,41 @@ class TestSymbolicBackendGc:
             mgr.collect_garbage()
             assert len(mgr) == 1  # only the shared terminal survives
 
-    def test_backend_retain_release_protocol(self):
+    def test_session_close_after_resource_failure_returns_to_baseline(self):
+        """A query killed mid-solve by its resource envelope must not leak:
+        the exception path sweeps the failed run's garbage, later queries
+        still work, and ``close()`` returns the manager to its baseline
+        exactly as on the happy path."""
+        import pytest
+
+        from repro.api import AnalysisSession
+        from repro.errors import ResourceExhausted
+        from repro.limits import ResourceLimits
+
+        source = """
+        decl g;
+        main() begin
+          g := T;
+          if (g) then yes: skip; fi
+        end
+        """
+        session = AnalysisSession(
+            source, default_algorithm="ef", limits=ResourceLimits(max_iterations=1)
+        )
+        with pytest.raises(ResourceExhausted):
+            session.check("main:yes")
+        mgr = next(iter(session._states.values())).backend.manager
+        live_after_failure = len(mgr)
+        # The compiled templates (external roots) survived; the failed
+        # run's intermediates did not pin the table open.
+        assert mgr.external_references() > 0
+        session.set_limits(None)
+        assert session.check("main:yes").reachable
+        session.close()
+        assert mgr.external_references() == 0
+        mgr.collect_garbage()
+        assert len(mgr) == 1
+        assert live_after_failure >= 1  # sanity: the failure left a live table
         """retain/release pin interpretation edges across sweeps; release is
         count-guarded so strangers' references are never stolen."""
         from repro.fixedpoint import SymbolicBackend

@@ -131,7 +131,12 @@ class TestScheduler:
         assert mode == "sequential" and reason is None
         assert [s.result.reachable for s in results] == [True, False]
 
-    def test_unpicklable_batch_falls_back_to_sequential(self):
+    def test_unpicklable_group_runs_inline_without_poisoning_batch(self):
+        # One unpicklable query no longer demotes the whole batch to the
+        # sequential fallback: its group runs inline in the driver while the
+        # picklable groups still fan out over the pool.
+        import os
+
         from repro.boolprog import parse_program
 
         program = parse_program(POSITIVE)
@@ -139,6 +144,27 @@ class TestScheduler:
         queries = [
             BatchQuery(name="p", program=program, target="main:target"),
             BatchQuery(name="n", program=NEGATIVE, target="main:target"),
+            BatchQuery(name="p2", program=POSITIVE, target="main:target"),
+        ]
+        results, mode, reason = run_shards(queries, jobs=4)
+        assert mode == "process-pool"
+        assert "inline" in reason
+        assert [s.result.reachable for s in results] == [True, False, True]
+        by_name = {s.name: s for s in results}
+        assert by_name["p"].pid == os.getpid()  # the offending group, inline
+        assert by_name["n"].pid != os.getpid()  # healthy groups still pooled
+        assert by_name["p2"].pid != os.getpid()
+
+    def test_fully_unpicklable_batch_falls_back_to_sequential(self):
+        from repro.boolprog import parse_program
+
+        program = parse_program(POSITIVE)
+        program.__dict__["_unpicklable"] = lambda: None
+        negative = parse_program(NEGATIVE)
+        negative.__dict__["_unpicklable"] = lambda: None
+        queries = [
+            BatchQuery(name="p", program=program, target="main:target"),
+            BatchQuery(name="n", program=negative, target="main:target"),
         ]
         results, mode, reason = run_shards(queries, jobs=4)
         assert mode == "sequential-fallback"
