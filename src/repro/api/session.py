@@ -577,6 +577,15 @@ class AnalysisSession:
         ]
 
     # -- bookkeeping ------------------------------------------------------
+    def live_nodes(self) -> int:
+        """Live BDD nodes across every compiled algorithm's manager.
+
+        The memory footprint of the session, in the same unit the kernel's
+        ``stats_snapshot()`` reports: a service pooling many sessions evicts
+        by this number (see :mod:`repro.service.pool`).
+        """
+        return sum(len(state.backend.manager) for state in self._states.values())
+
     def stats(self) -> Dict[str, object]:
         """Session-level reuse counters, per compiled algorithm."""
         return {

@@ -167,6 +167,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_flags(args: argparse.Namespace) -> Optional[str]:
+    """First nonsensical flag value as a message, or None when all are sane.
+
+    Caught before any file I/O or parsing so a bad invocation fails fast
+    with exit status 2 and a message naming the flag — argparse's ``type=``
+    converters accept any int/float, so range checks live here.
+    """
+    if args.jobs < 1:
+        return f"--jobs must be >= 1, got {args.jobs}"
+    if args.deadline is not None and args.deadline < 0:
+        return f"--deadline must be >= 0 seconds, got {args.deadline}"
+    if args.node_budget is not None and args.node_budget < 1:
+        return f"--node-budget must be >= 1, got {args.node_budget}"
+    if args.max_iterations is not None and args.max_iterations < 1:
+        return f"--max-iterations must be >= 1, got {args.max_iterations}"
+    if args.shard_timeout is not None and args.shard_timeout <= 0:
+        return f"--shard-timeout must be > 0 seconds, got {args.shard_timeout}"
+    if args.retries < 0:
+        return f"--retries must be >= 0, got {args.retries}"
+    if args.context_switches < 0:
+        return f"--context-switches must be >= 0, got {args.context_switches}"
+    return None
+
+
 def _build_limits(args: argparse.Namespace) -> Optional[ResourceLimits]:
     """Fold the limit flags into a :class:`ResourceLimits`, or None if unset."""
     if (
@@ -223,35 +247,65 @@ def _run_single(
     locations: List[tuple],
     limits: Optional[ResourceLimits],
 ) -> int:
-    """Classic single-query path: one file, one target, in-process."""
-    try:
-        if args.concurrent:
-            result = check_concurrent_reachability(
-                program,
-                target=locations,
-                context_switches=args.context_switches,
-                early_stop=not args.no_early_stop,
-                limits=limits,
-            )
-        else:
-            result = check_reachability(
-                program,
-                target=locations,
-                algorithm=args.algorithm,
-                early_stop=not args.no_early_stop,
-                limits=limits,
-            )
-    except ResourceExhausted as exc:
-        if args.json:
-            print(json.dumps({"error": str(exc), **exc.detail()}, indent=2))
-        else:
-            print(f"getafix: {args.files[0]}: {exc}", file=sys.stderr)
-        return EXIT_RESOURCE
+    """Classic single-query path: one file, one target, in-process.
+
+    Transient-failure parity with the batch path: an unexpected exception
+    gets one bounded-backoff retry (batches get the same through the pool
+    scheduler's rebuild-and-retry rounds), recorded in the result's
+    ``details["retries"]``.  Typed resource exhaustion and user errors are
+    never retried — a deterministic engine will only fail the same way
+    twice.
+    """
+    import time as _time
+
+    from ..testing import faults
+
+    label = str(args.files[0])
+    retries = 0
+    while True:
+        try:
+            # Same fault-injection point the shard workers have, so the
+            # retry path is testable with a deterministic transient fault.
+            faults.on_shard([label])
+            if args.concurrent:
+                result = check_concurrent_reachability(
+                    program,
+                    target=locations,
+                    context_switches=args.context_switches,
+                    early_stop=not args.no_early_stop,
+                    limits=limits,
+                )
+            else:
+                result = check_reachability(
+                    program,
+                    target=locations,
+                    algorithm=args.algorithm,
+                    early_stop=not args.no_early_stop,
+                    limits=limits,
+                )
+            break
+        except ResourceExhausted as exc:
+            if args.json:
+                print(json.dumps({"error": str(exc), **exc.detail()}, indent=2))
+            else:
+                print(f"getafix: {label}: {exc}", file=sys.stderr)
+            return EXIT_RESOURCE
+        except BoolProgError:
+            raise  # user error; main() renders it
+        except Exception:  # noqa: BLE001 — transient failure: retry once
+            if retries >= 1:
+                raise
+            retries += 1
+            _time.sleep(0.05)
+    if retries:
+        result.details["retries"] = retries
     if args.json:
         print(json.dumps(asdict(result), indent=2, default=str))
     else:
         answer = "YES: the target is reachable" if result.reachable else "NO: the target is unreachable"
         print(answer)
+        if retries:
+            print(f"note: succeeded after {retries} retry(ies) of a transient failure")
         if result.degraded_from is not None:
             print(
                 f"note: {result.degraded_from} exhausted its budget; "
@@ -339,8 +393,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if not args.targets:
         args.targets = ["error"]
-    if args.jobs < 1:
-        print(f"getafix: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+    flag_error = _validate_flags(args)
+    if flag_error is not None:
+        print(f"getafix: {flag_error}", file=sys.stderr)
         return EXIT_ERROR
     try:
         limits = _build_limits(args)

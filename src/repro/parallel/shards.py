@@ -537,63 +537,72 @@ def _run_pool_groups(
             pool = ProcessPoolExecutor(
                 max_workers=min(jobs, len(batch)), mp_context=context
             )
-            futures: Dict[object, int] = {}
+            pool_closed = False
             try:
-                for index in batch:
-                    futures[pool.submit(_pool_entry, grouped[index], fault_plan)] = index
-            except Exception:  # noqa: BLE001 — pool broke during submission
-                crashed_this_round = True
-            crashed_now: List[int] = []
-            abandon = False
-            for future, index in futures.items():
-                if abandon:
-                    # The pool is condemned (stuck or broken): harvest what
-                    # finished, requeue the rest without penalty.
-                    if future.done():  # type: ignore[attr-defined]
-                        try:
-                            completed[index] = _mark_retried(
-                                future.result(), attempts_so_far  # type: ignore[attr-defined]
-                            )
-                            progress = True
-                        except BrokenProcessPool:
-                            crashed_now.append(index)
-                        except Exception as exc:  # noqa: BLE001
-                            completed[index] = [
-                                _failure_shard(query, exc, 0.0)
-                                for query in grouped[index]
-                            ]
-                            progress = True
-                    else:
-                        next_pending.append(index)
-                    continue
+                futures: Dict[object, int] = {}
                 try:
-                    completed[index] = _mark_retried(
-                        future.result(timeout=shard_timeout),  # type: ignore[attr-defined]
-                        attempts_so_far,
-                    )
-                    progress = True
-                except FutureTimeout:
-                    completed[index] = _timeout_results(
-                        grouped[index], shard_timeout or 0.0, attempts_so_far
-                    )
-                    progress = True
-                    abandon = True
-                except BrokenProcessPool:
-                    crashed_now.append(index)
-                    abandon = True
-                except Exception as exc:  # noqa: BLE001 — transport/entry failure
-                    completed[index] = [
-                        _failure_shard(query, exc, 0.0) for query in grouped[index]
-                    ]
-                    progress = True
-            submitted = set(futures.values())
-            for index in batch:
-                if index not in submitted and index not in completed:
-                    next_pending.append(index)
-            if abandon or crashed_this_round:
-                _terminate_pool(pool)
-            else:
-                pool.shutdown(wait=True)
+                    for index in batch:
+                        futures[pool.submit(_pool_entry, grouped[index], fault_plan)] = index
+                except Exception:  # noqa: BLE001 — pool broke during submission
+                    crashed_this_round = True
+                crashed_now: List[int] = []
+                abandon = False
+                for future, index in futures.items():
+                    if abandon:
+                        # The pool is condemned (stuck or broken): harvest what
+                        # finished, requeue the rest without penalty.
+                        if future.done():  # type: ignore[attr-defined]
+                            try:
+                                completed[index] = _mark_retried(
+                                    future.result(), attempts_so_far  # type: ignore[attr-defined]
+                                )
+                                progress = True
+                            except BrokenProcessPool:
+                                crashed_now.append(index)
+                            except Exception as exc:  # noqa: BLE001
+                                completed[index] = [
+                                    _failure_shard(query, exc, 0.0)
+                                    for query in grouped[index]
+                                ]
+                                progress = True
+                        else:
+                            next_pending.append(index)
+                        continue
+                    try:
+                        completed[index] = _mark_retried(
+                            future.result(timeout=shard_timeout),  # type: ignore[attr-defined]
+                            attempts_so_far,
+                        )
+                        progress = True
+                    except FutureTimeout:
+                        completed[index] = _timeout_results(
+                            grouped[index], shard_timeout or 0.0, attempts_so_far
+                        )
+                        progress = True
+                        abandon = True
+                    except BrokenProcessPool:
+                        crashed_now.append(index)
+                        abandon = True
+                    except Exception as exc:  # noqa: BLE001 — transport/entry failure
+                        completed[index] = [
+                            _failure_shard(query, exc, 0.0) for query in grouped[index]
+                        ]
+                        progress = True
+                submitted = set(futures.values())
+                for index in batch:
+                    if index not in submitted and index not in completed:
+                        next_pending.append(index)
+                if abandon or crashed_this_round:
+                    _terminate_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+                pool_closed = True
+            finally:
+                if not pool_closed:
+                    # A driver-side interrupt (SIGTERM/SIGINT, see run_shards)
+                    # or an unexpected error must not leave worker processes
+                    # orphaned behind a pool nobody will ever join.
+                    _terminate_pool(pool)
             for index in crashed_now:
                 crash_counts[index] += 1
                 progress = True
@@ -705,6 +714,24 @@ def run_shards(
         (pool_groups if _group_is_picklable(group_batch) else inline_groups).append(gi)
     if not pool_groups:
         return sequential(), "sequential-fallback", "batch is not picklable"
+    # While a pool is up, SIGTERM must run the same cleanup path SIGINT gets
+    # for free (KeyboardInterrupt -> the pool's finally -> _terminate_pool);
+    # the default SIGTERM disposition would kill the driver and orphan every
+    # worker mid-query.  Signal handlers are a main-thread-only facility, so
+    # embedders driving run_shards from another thread keep their own
+    # handling.
+    import signal
+    import threading
+
+    previous_sigterm = None
+    if threading.current_thread() is threading.main_thread():
+        def _sigterm_to_interrupt(signum, frame):  # pragma: no cover — exercised via subprocess test
+            raise KeyboardInterrupt(f"signal {signum}")
+
+        try:
+            previous_sigterm = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+        except (ValueError, OSError):  # platform without SIGTERM delivery
+            previous_sigterm = None
     try:
         import multiprocessing
 
@@ -721,6 +748,9 @@ def run_shards(
     except Exception as exc:  # pool start-up or transport failure: degrade, don't die
         reason = f"process pool failed: {type(exc).__name__}: {exc}"
         return sequential(), "sequential-fallback", reason
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
     if inline_groups:
         per_group_map.update(run_inline(inline_groups))
     fallback_reason = None

@@ -1,0 +1,50 @@
+"""Analysis-as-a-service: a resilient daemon over the session API.
+
+The service stack turns the compile-once/query-many sessions of
+:mod:`repro.api` into a long-running daemon with a warm session pool:
+
+* :mod:`repro.service.protocol` — the JSONL wire protocol, request
+  validation and the picklable :class:`QueryJob`/:class:`QueryOutcome`
+  records.
+* :mod:`repro.service.worker` — worker-side session cache and job
+  execution (sessions never cross process boundaries).
+* :mod:`repro.service.pool` — worker supervision with failover, the
+  live-node-priced LRU pool index, and the per-program circuit breaker.
+* :mod:`repro.service.daemon` — admission control, load shedding to the
+  degradation ladder, request coalescing, metrics and graceful drain.
+
+Run it with ``python -m repro.frontends.server`` (see the README's
+"Running the service" section for the protocol).
+"""
+
+from .daemon import AnalysisDaemon, DaemonConfig, serve_stdio, serve_tcp
+from .pool import CircuitBreaker, InlineWorkerPool, ProcessWorkerPool, SessionPoolIndex
+from .protocol import (
+    ProtocolError,
+    QueryJob,
+    QueryOutcome,
+    content_hash,
+    error_payload,
+    parse_request,
+)
+from .worker import SessionCache, execute_job, worker_main
+
+__all__ = [
+    "AnalysisDaemon",
+    "CircuitBreaker",
+    "DaemonConfig",
+    "InlineWorkerPool",
+    "ProcessWorkerPool",
+    "ProtocolError",
+    "QueryJob",
+    "QueryOutcome",
+    "SessionCache",
+    "SessionPoolIndex",
+    "content_hash",
+    "error_payload",
+    "execute_job",
+    "parse_request",
+    "serve_stdio",
+    "serve_tcp",
+    "worker_main",
+]

@@ -1,0 +1,606 @@
+"""Driver-side pooling: worker supervision, pool accounting, circuit breaking.
+
+Three cooperating pieces, all owned by the daemon's event loop:
+
+* :class:`ProcessWorkerPool` — a fixed-size set of long-lived worker
+  processes (see :mod:`repro.service.worker`), each connected by a pipe and
+  drained by one reader task.  Routing is by **program-hash affinity**
+  (``worker = hash % size``), so repeated queries for one program land on
+  the worker already holding its warm session.  A dead worker fails over:
+  its in-flight jobs are retried once on a rebuilt worker after a bounded
+  exponential backoff, and jobs that die twice come back as structured
+  ``crashed`` outcomes — never dropped, never an exception.
+* :class:`InlineWorkerPool` — the measurable single-process fallback
+  (``workers=0``): the identical :func:`~repro.service.worker.execute_job`
+  path on a driver-local cache behind a one-thread executor, so comparing
+  pooled vs in-process service numbers compares configurations, not code.
+* :class:`SessionPoolIndex` + :class:`CircuitBreaker` — the daemon's
+  bookkeeping: an LRU index of pooled sessions priced in live BDD nodes
+  (the kernel's own accounting) that yields eviction decisions under a
+  memory budget, and a per-program-hash breaker that quarantines programs
+  which repeatedly crash or exhaust workers, riding the shard conviction
+  taxonomy (``crashed``/``timeout``/``resource`` strike; user errors
+  neither strike nor heal).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from .protocol import QueryJob, QueryOutcome, error_payload
+from .worker import SessionCache, execute_job, worker_main
+
+__all__ = [
+    "CircuitBreaker",
+    "InlineWorkerPool",
+    "ProcessWorkerPool",
+    "SessionPoolIndex",
+]
+
+
+# ---------------------------------------------------------------------------
+# Pool accounting: LRU session index priced in live BDD nodes.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _PoolEntry:
+    worker_index: int
+    live_nodes: int = 0
+    queries: int = 0
+    gc_collections_seen: int = 0
+
+
+class SessionPoolIndex:
+    """The daemon's ledger of pooled sessions (the workers hold the objects).
+
+    Keys are program content hashes; values record which worker owns the
+    session, its last reported live-node count and cumulative GC activity.
+    :meth:`evictions` implements the pool policy: when the summed live
+    nodes exceed ``memory_budget_nodes``, least-recently-used sessions are
+    evicted until the pool fits — skipping hashes with queries in flight
+    and always sparing the most recently touched session (evicting the
+    session you are actively serving would defeat the pool entirely).
+    """
+
+    def __init__(self, memory_budget_nodes: Optional[int] = None) -> None:
+        if memory_budget_nodes is not None and memory_budget_nodes <= 0:
+            raise ValueError("memory_budget_nodes must be positive")
+        self.memory_budget_nodes = memory_budget_nodes
+        self._entries: "OrderedDict[str, _PoolEntry]" = OrderedDict()
+        self.peak_live_nodes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, program_hash: str) -> bool:
+        return program_hash in self._entries
+
+    def touch(
+        self,
+        program_hash: str,
+        worker_index: int,
+        live_nodes: int,
+        gc_collections: int = 0,
+    ) -> int:
+        """Record a served query; returns the session's GC-collection delta."""
+        entry = self._entries.get(program_hash)
+        if entry is None:
+            entry = _PoolEntry(worker_index=worker_index)
+            self._entries[program_hash] = entry
+        entry.worker_index = worker_index
+        entry.live_nodes = live_nodes
+        entry.queries += 1
+        delta = max(0, gc_collections - entry.gc_collections_seen)
+        entry.gc_collections_seen = max(entry.gc_collections_seen, gc_collections)
+        self._entries.move_to_end(program_hash)
+        self.peak_live_nodes = max(self.peak_live_nodes, self.total_live_nodes())
+        return delta
+
+    def drop(self, program_hash: str) -> None:
+        self._entries.pop(program_hash, None)
+
+    def total_live_nodes(self) -> int:
+        return sum(entry.live_nodes for entry in self._entries.values())
+
+    def worker_of(self, program_hash: str) -> Optional[int]:
+        entry = self._entries.get(program_hash)
+        return entry.worker_index if entry is not None else None
+
+    def evictions(self, busy: Set[str]) -> List[Tuple[str, int]]:
+        """LRU victims to evict so the pool fits its budget (may be empty)."""
+        if self.memory_budget_nodes is None:
+            return []
+        victims: List[Tuple[str, int]] = []
+        total = self.total_live_nodes()
+        if total <= self.memory_budget_nodes:
+            return []
+        # Oldest first; the last entry is the most recently touched and is
+        # never evicted here.
+        candidates = list(self._entries.items())[:-1]
+        for program_hash, entry in candidates:
+            if total <= self.memory_budget_nodes:
+                break
+            if program_hash in busy:
+                continue
+            victims.append((program_hash, entry.worker_index))
+            total -= entry.live_nodes
+            del self._entries[program_hash]
+        return victims
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly pool state for health/metrics responses."""
+        return {
+            "sessions": len(self._entries),
+            "live_nodes": self.total_live_nodes(),
+            "peak_live_nodes": self.peak_live_nodes,
+            "memory_budget_nodes": self.memory_budget_nodes,
+            "entries": [
+                {
+                    "program": program_hash[:12],
+                    "worker": entry.worker_index,
+                    "live_nodes": entry.live_nodes,
+                    "queries": entry.queries,
+                }
+                for program_hash, entry in self._entries.items()
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker: per-program-hash quarantine.
+# ---------------------------------------------------------------------------
+
+class CircuitBreaker:
+    """Quarantine program hashes that repeatedly crash or exhaust workers.
+
+    ``threshold`` consecutive striking outcomes (``crashed``, ``timeout``,
+    ``resource`` — the shard conviction taxonomy) open the circuit for
+    ``cooldown_seconds``: requests for that hash are answered immediately
+    with a typed ``circuit-open`` error instead of burning a worker on a
+    known-bad program.  After the cooldown one probe request is let through
+    (half-open); success closes the circuit, another strike re-opens it.
+    User errors (status ``error``) neither strike nor heal — a parse error
+    says nothing about worker safety.
+    """
+
+    STRIKE_STATUSES = frozenset({"crashed", "timeout", "resource"})
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._strikes: Dict[str, int] = {}
+        self._open_until: Dict[str, float] = {}
+        self.trips = 0
+
+    def allow(self, program_hash: str) -> Tuple[bool, float]:
+        """(admit?, seconds until the next probe would be admitted)."""
+        deadline = self._open_until.get(program_hash)
+        if deadline is None:
+            return True, 0.0
+        now = self._clock()
+        if now >= deadline:
+            # Half-open: admit one probe, stay armed for everyone else until
+            # the probe's outcome is recorded.
+            self._open_until[program_hash] = now + self.cooldown_seconds
+            return True, 0.0
+        return False, deadline - now
+
+    def record(self, program_hash: str, status: str) -> bool:
+        """Record an outcome; True when this record opened the circuit."""
+        if status in ("ok", "retried"):
+            self._strikes.pop(program_hash, None)
+            self._open_until.pop(program_hash, None)
+            return False
+        if status not in self.STRIKE_STATUSES:
+            return False
+        strikes = self._strikes.get(program_hash, 0) + 1
+        self._strikes[program_hash] = strikes
+        if strikes < self.threshold:
+            return False
+        newly_open = program_hash not in self._open_until
+        self._open_until[program_hash] = self._clock() + self.cooldown_seconds
+        if newly_open:
+            self.trips += 1
+        return newly_open
+
+    def strikes(self, program_hash: str) -> int:
+        return self._strikes.get(program_hash, 0)
+
+    def open_hashes(self) -> List[str]:
+        now = self._clock()
+        return [h for h, until in self._open_until.items() if until > now]
+
+
+# ---------------------------------------------------------------------------
+# Worker pools.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Pending:
+    job: QueryJob
+    future: "asyncio.Future[QueryOutcome]"
+    attempts: int = 1
+
+
+class _WorkerHandle:
+    def __init__(self, index: int, process, conn, restarts: int) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.restarts = restarts
+        self.inflight: Dict[str, _Pending] = {}
+        self.dead = False
+        self.closing = False
+        self.reader: Optional[asyncio.Task] = None
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid or 0
+
+
+class ProcessWorkerPool:
+    """Long-lived worker processes with affinity routing and supervision.
+
+    ``submit`` never raises and never loses a job: a worker death re-runs
+    the job once on a rebuilt worker (bounded exponential backoff between
+    rebuilds), and a second death returns a structured ``crashed`` outcome.
+    ``on_evicted(program_hash, freed_nodes)`` fires when a worker confirms
+    an eviction command.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        fault_plan=None,
+        start_method: Optional[str] = None,
+        max_attempts: int = 2,
+        retry_backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        on_evicted: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("a process pool needs at least one worker")
+        self.size = size
+        self._fault_plan = fault_plan
+        self._start_method = start_method
+        self._max_attempts = max_attempts
+        self._retry_backoff = retry_backoff
+        self._backoff_cap = backoff_cap
+        self.on_evicted = on_evicted
+        self._handles: List[Optional[_WorkerHandle]] = [None] * size
+        self._ready: List[asyncio.Event] = []
+        self._stopping = False
+        self.restarts = 0
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        self._ready = [asyncio.Event() for _ in range(self.size)]
+        for index in range(self.size):
+            self._install(index, restarts=0)
+
+    def _spawn(self, index: int, restarts: int) -> _WorkerHandle:
+        import multiprocessing
+
+        context = (
+            multiprocessing.get_context(self._start_method)
+            if self._start_method
+            else multiprocessing
+        )
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=worker_main,
+            args=(child_conn, self._fault_plan),
+            daemon=True,
+            name=f"repro-service-worker-{index}",
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(index, process, parent_conn, restarts)
+
+    def _install(self, index: int, restarts: int) -> _WorkerHandle:
+        handle = self._spawn(index, restarts)
+        self._handles[index] = handle
+        handle.reader = asyncio.get_running_loop().create_task(self._read_loop(handle))
+        self._ready[index].set()
+        return handle
+
+    async def stop(self) -> None:
+        """Stop every worker: polite stop message, then join, then terminate."""
+        self._stopping = True
+        loop = asyncio.get_running_loop()
+        handles = [handle for handle in self._handles if handle is not None]
+        for handle in handles:
+            handle.closing = True
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in handles:
+            await loop.run_in_executor(None, handle.process.join, 2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                await loop.run_in_executor(None, handle.process.join, 1.0)
+        # Retire the readers before closing their connections: the reader
+        # owns the fd's readiness registration, and closing an fd that is
+        # still registered (or mid-callback) is how reader leaks start.
+        readers = [handle.reader for handle in handles if handle.reader is not None]
+        for reader in readers:
+            reader.cancel()
+        await asyncio.gather(*readers, return_exceptions=True)
+        for handle in handles:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            for pending in handle.inflight.values():
+                if not pending.future.done():
+                    pending.future.set_result(
+                        QueryOutcome(
+                            status="crashed",
+                            error=error_payload(
+                                "ServiceStopped",
+                                "the service stopped before this query finished",
+                            ),
+                        )
+                    )
+            handle.inflight.clear()
+
+    # -- routing ---------------------------------------------------------
+    def worker_index(self, program_hash: str) -> int:
+        return int(program_hash[:8], 16) % self.size
+
+    def alive_count(self) -> int:
+        return sum(
+            1
+            for handle in self._handles
+            if handle is not None and not handle.dead and handle.process.is_alive()
+        )
+
+    def worker_states(self) -> List[Dict[str, object]]:
+        states = []
+        for index, handle in enumerate(self._handles):
+            states.append(
+                {
+                    "index": index,
+                    "pid": handle.pid if handle is not None else None,
+                    "alive": bool(
+                        handle is not None
+                        and not handle.dead
+                        and handle.process.is_alive()
+                    ),
+                    "restarts": handle.restarts if handle is not None else 0,
+                    "inflight": len(handle.inflight) if handle is not None else 0,
+                }
+            )
+        return states
+
+    async def _handle_for(self, index: int) -> _WorkerHandle:
+        while True:
+            handle = self._handles[index]
+            if handle is not None and not handle.dead:
+                return handle
+            await self._ready[index].wait()
+
+    # -- work ------------------------------------------------------------
+    async def submit(self, job: QueryJob) -> QueryOutcome:
+        index = self.worker_index(job.program_hash)
+        handle = await self._handle_for(index)
+        future: "asyncio.Future[QueryOutcome]" = asyncio.get_running_loop().create_future()
+        pending = _Pending(job=job, future=future)
+        handle.inflight[job.id] = pending
+        try:
+            handle.conn.send(("query", job))
+        except (BrokenPipeError, OSError):
+            # The worker died under us; the reader's death path owns this
+            # pending entry now (retry or structured failure).
+            pass
+        return await future
+
+    async def evict(self, program_hash: str, worker_index: Optional[int] = None) -> None:
+        index = worker_index if worker_index is not None else self.worker_index(program_hash)
+        handle = self._handles[index]
+        if handle is None or handle.dead:
+            # A dead worker already lost its sessions; nothing to evict.
+            if self.on_evicted is not None:
+                self.on_evicted(program_hash, 0)
+            return
+        try:
+            handle.conn.send(("evict", program_hash))
+        except (BrokenPipeError, OSError):
+            if self.on_evicted is not None:
+                self.on_evicted(program_hash, 0)
+
+    # -- supervision -----------------------------------------------------
+    async def _read_loop(self, handle: _WorkerHandle) -> None:
+        # Readiness-driven, not thread-driven: a thread blocked in
+        # ``conn.recv`` cannot be cancelled and would wedge the default
+        # executor's shutdown if the peer fd never delivers EOF (fork
+        # helpers inheriting the child end keep the pipe alive).  With
+        # ``add_reader`` the loop only touches the pipe when it is
+        # readable, and tearing the reader down is an ordinary
+        # task-cancel plus fd-unregister.
+        loop = asyncio.get_running_loop()
+        fd = handle.conn.fileno()
+        readable = asyncio.Event()
+        loop.add_reader(fd, readable.set)
+        registered = True
+
+        def _unregister() -> None:
+            nonlocal registered
+            if registered:
+                registered = False
+                try:
+                    loop.remove_reader(fd)
+                except (OSError, ValueError):
+                    pass
+
+        try:
+            while True:
+                await readable.wait()
+                readable.clear()
+                while True:
+                    try:
+                        if not handle.conn.poll(0):
+                            break
+                        message = handle.conn.recv()
+                    except (EOFError, OSError):
+                        _unregister()
+                        if self._stopping or handle.closing:
+                            return
+                        await self._on_worker_death(handle)
+                        return
+                    self._dispatch(handle, message)
+        finally:
+            _unregister()
+
+    def _dispatch(self, handle: _WorkerHandle, message) -> None:
+        kind = message[0]
+        if kind == "result":
+            pending = handle.inflight.pop(message[1], None)
+            if pending is not None and not pending.future.done():
+                outcome: QueryOutcome = message[2]
+                if pending.attempts > 1:
+                    outcome.retries = pending.attempts - 1
+                    if outcome.status == "ok":
+                        outcome.status = "retried"
+                pending.future.set_result(outcome)
+        elif kind == "evicted":
+            if self.on_evicted is not None:
+                self.on_evicted(message[1], message[2])
+
+    async def _on_worker_death(self, handle: _WorkerHandle) -> None:
+        """Fail over a dead worker: rebuild it, retry its in-flight jobs once."""
+        handle.dead = True
+        index = handle.index
+        self._ready[index].clear()
+        self.restarts += 1
+        pending_jobs = list(handle.inflight.values())
+        handle.inflight.clear()
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        handle.process.join(0.5)
+        retryable: List[_Pending] = []
+        for pending in pending_jobs:
+            if pending.future.done():
+                continue
+            if pending.attempts >= self._max_attempts:
+                pending.future.set_result(
+                    QueryOutcome(
+                        status="crashed",
+                        error=error_payload(
+                            "WorkerCrashed",
+                            f"worker {index} died running query "
+                            f"{pending.job.name!r} ({pending.attempts} attempt(s))",
+                            attempts=pending.attempts,
+                        ),
+                        retries=pending.attempts - 1,
+                    )
+                )
+            else:
+                retryable.append(pending)
+        restarts = handle.restarts + 1
+        backoff = min(self._retry_backoff * (2 ** (restarts - 1)), self._backoff_cap)
+        await asyncio.sleep(backoff)
+        if self._stopping:
+            for pending in retryable:
+                if not pending.future.done():
+                    pending.future.set_result(
+                        QueryOutcome(
+                            status="crashed",
+                            error=error_payload(
+                                "ServiceStopped",
+                                "the service stopped before this query finished",
+                            ),
+                        )
+                    )
+            return
+        new_handle = self._install(index, restarts)
+        for pending in retryable:
+            pending.attempts += 1
+            new_handle.inflight[pending.job.id] = pending
+            try:
+                new_handle.conn.send(("query", pending.job))
+            except (BrokenPipeError, OSError):
+                pass  # the new reader's death path owns these now
+
+
+class InlineWorkerPool:
+    """Single-process fallback: the same job path, one executor thread.
+
+    Sessions live in the driver process; injected worker kills are inert
+    here by design (the fault plan is installed without the worker mark).
+    Used when ``workers=0`` is requested or process pools are unavailable,
+    and by tests that exercise daemon logic without multiprocessing.
+    """
+
+    size = 1
+
+    def __init__(self, *, fault_plan=None, on_evicted=None) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._fault_plan = fault_plan
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-inline"
+        )
+        self._cache = SessionCache()
+        self.on_evicted = on_evicted
+        self.restarts = 0
+
+    async def start(self) -> None:
+        if self._fault_plan is not None:
+            from ..testing import faults
+
+            faults.install(self._fault_plan)
+
+    async def stop(self) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, self._cache.close)
+        self._executor.shutdown(wait=True)
+        if self._fault_plan is not None:
+            from ..testing import faults
+
+            faults.clear()
+
+    def worker_index(self, program_hash: str) -> int:
+        return 0
+
+    def alive_count(self) -> int:
+        return 1
+
+    def worker_states(self) -> List[Dict[str, object]]:
+        import os
+
+        return [
+            {
+                "index": 0,
+                "pid": os.getpid(),
+                "alive": True,
+                "restarts": 0,
+                "inflight": 0,
+            }
+        ]
+
+    async def submit(self, job: QueryJob) -> QueryOutcome:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, execute_job, self._cache, job)
+
+    async def evict(self, program_hash: str, worker_index: Optional[int] = None) -> None:
+        loop = asyncio.get_running_loop()
+        freed = await loop.run_in_executor(self._executor, self._cache.evict, program_hash)
+        if self.on_evicted is not None:
+            self.on_evicted(program_hash, freed)

@@ -1,0 +1,239 @@
+"""Wire protocol and job records of the analysis daemon.
+
+The daemon speaks JSON Lines: one request object per line in, one response
+object per line out (see :mod:`repro.service.daemon` for the service loop).
+This module owns the boundary between that JSON world and the typed internal
+one:
+
+* :func:`parse_request` turns a decoded request mapping into a
+  :class:`QueryJob` — the picklable unit of work shipped to worker processes
+  — front-loading every user error as a :class:`ProtocolError` with a typed
+  JSON payload (the daemon never answers a malformed request with a
+  traceback).
+* :class:`QueryOutcome` is the picklable worker-to-driver result record.  Its
+  ``status`` field extends the shard taxonomy of
+  :class:`repro.parallel.shards.ShardResult` (``ok/retried/timeout/resource/
+  crashed``) with the service-side outcomes ``error`` (user error),
+  ``shed`` (load-shed rejection), ``circuit-open`` (quarantined program
+  hash) and ``draining`` (shutdown in progress).
+* :func:`content_hash` is the program identity the session pool, the
+  request coalescer and the circuit breaker all key on: the SHA-256 of the
+  program source text, so textually identical programs share a pooled
+  session no matter which client sent them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from ..algorithms.engine import SEQUENTIAL_ALGORITHMS
+from ..limits import ResourceLimits
+
+__all__ = [
+    "ProtocolError",
+    "QueryJob",
+    "QueryOutcome",
+    "content_hash",
+    "parse_request",
+    "error_payload",
+]
+
+#: Statuses a response may carry.  The first five mirror the shard taxonomy
+#: (see :class:`repro.parallel.shards.ShardResult`); the rest are produced by
+#: the daemon itself, before a query ever reaches a worker.
+RESPONSE_STATUSES = (
+    "ok",
+    "retried",
+    "timeout",
+    "resource",
+    "crashed",
+    "error",
+    "shed",
+    "circuit-open",
+    "draining",
+)
+
+
+def content_hash(source: str) -> str:
+    """The pool/coalescing/breaker key of a program: SHA-256 of its text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def error_payload(type_name: str, message: str, **extra: object) -> Dict[str, object]:
+    """A typed JSON error record (same shape as ``ResourceExhausted.detail()``)."""
+    payload: Dict[str, object] = {"type": type_name, "message": message}
+    payload.update(extra)
+    return payload
+
+
+class ProtocolError(ValueError):
+    """A request the daemon must reject, with its typed JSON payload."""
+
+    def __init__(self, type_name: str, message: str, **extra: object) -> None:
+        super().__init__(message)
+        self.payload = error_payload(type_name, message, **extra)
+
+
+@dataclass(frozen=True)
+class QueryJob:
+    """One admitted query, as plain picklable data (driver -> worker).
+
+    ``id`` is the daemon-side correlation key (echoed in the response);
+    ``name`` is the friendly label fault plans and load reports key on
+    (mirrors :class:`repro.parallel.shards.BatchQuery.name`).
+    ``program_hash`` is precomputed so workers and the driver agree on the
+    session-pool key without re-hashing the source per hop.
+    """
+
+    id: str
+    name: str
+    program: str
+    program_hash: str
+    target: Union[str, Tuple[str, ...], Tuple[Tuple[int, int], ...]] = "error"
+    algorithm: str = "ef-opt"
+    concurrent: bool = False
+    context_switches: int = 2
+    early_stop: bool = True
+    limits: Optional[ResourceLimits] = None
+
+    def coalesce_key(self) -> Tuple[object, ...]:
+        """Requests with equal keys are answered by one shared execution."""
+        return (
+            self.program_hash,
+            self.algorithm,
+            self.target,
+            self.concurrent,
+            self.context_switches,
+            self.early_stop,
+            self.limits,
+        )
+
+
+@dataclass
+class QueryOutcome:
+    """What one executed job produced (worker -> driver, picklable).
+
+    ``session_live_nodes`` is the serving session's live BDD node count
+    *after* the query (the pool's eviction currency);
+    ``gc_collections`` is the session-cumulative collection count (the
+    driver accumulates deltas per program hash).  Both are 0 for concurrent
+    queries, which run without a pooled session.
+    """
+
+    status: str = "ok"
+    reachable: Optional[bool] = None
+    algorithm: Optional[str] = None
+    degraded_from: Optional[str] = None
+    warm: bool = False
+    iterations: int = 0
+    elapsed_seconds: float = 0.0
+    error: Optional[Dict[str, object]] = None
+    session_live_nodes: int = 0
+    gc_collections: int = 0
+    retries: int = 0
+    worker_pid: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "retried")
+
+
+def _normalise_target(raw: object) -> Union[str, Tuple[object, ...]]:
+    """Validate and freeze a request's target spec (hashable for coalescing)."""
+    if isinstance(raw, str):
+        return raw
+    if isinstance(raw, (list, tuple)):
+        if all(isinstance(item, str) for item in raw):
+            return tuple(raw)
+        normalised = []
+        for item in raw:
+            if (
+                not isinstance(item, (list, tuple))
+                or len(item) != 2
+                or not all(isinstance(part, int) for part in item)
+            ):
+                raise ProtocolError(
+                    "BadRequest",
+                    "target must be a string, a list of strings, or a list "
+                    "of [module, pc] integer pairs",
+                )
+            normalised.append((item[0], item[1]))
+        if normalised:
+            return tuple(normalised)
+    raise ProtocolError(
+        "BadRequest",
+        "target must be a string, a list of strings, or a list of "
+        "[module, pc] integer pairs",
+    )
+
+
+def _request_limits(
+    request: Dict[str, object], defaults: Optional[ResourceLimits]
+) -> Optional[ResourceLimits]:
+    """Per-request envelope: request fields override the daemon defaults."""
+    fields = ("deadline_seconds", "node_budget", "max_iterations", "degrade")
+    if not any(name in request for name in fields):
+        return defaults
+
+    def pick(name: str, fallback: object) -> object:
+        return request[name] if name in request else fallback
+
+    base = defaults if defaults is not None else ResourceLimits()
+    try:
+        limits = ResourceLimits(
+            deadline_seconds=pick("deadline_seconds", base.deadline_seconds),
+            node_budget=pick("node_budget", base.node_budget),
+            max_iterations=pick("max_iterations", base.max_iterations),
+            degrade=bool(pick("degrade", base.degrade)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("BadRequest", f"invalid resource limits: {exc}")
+    return limits if limits.bounded or limits.degrade else None
+
+
+def parse_request(
+    request: Dict[str, object],
+    *,
+    job_id: str,
+    default_algorithm: str = "ef-opt",
+    default_limits: Optional[ResourceLimits] = None,
+) -> QueryJob:
+    """Validate a decoded query request and build its :class:`QueryJob`.
+
+    Every rejection raises :class:`ProtocolError` with a payload naming the
+    offending field, so clients get a typed 4xx-style answer rather than a
+    dropped connection or a stack trace.
+    """
+    program = request.get("program")
+    if not isinstance(program, str) or not program.strip():
+        raise ProtocolError("BadRequest", "request needs a non-empty 'program' string")
+    concurrent = bool(request.get("concurrent", False))
+    algorithm = request.get("algorithm", default_algorithm)
+    if not concurrent and algorithm not in SEQUENTIAL_ALGORITHMS:
+        raise ProtocolError(
+            "BadRequest",
+            f"unknown algorithm {algorithm!r}; choose one of "
+            f"{sorted(SEQUENTIAL_ALGORITHMS)}",
+        )
+    context_switches = request.get("context_switches", 2)
+    if not isinstance(context_switches, int) or context_switches < 0:
+        raise ProtocolError(
+            "BadRequest", "context_switches must be a non-negative integer"
+        )
+    name = request.get("name")
+    if name is not None and not isinstance(name, str):
+        raise ProtocolError("BadRequest", "name must be a string when given")
+    return QueryJob(
+        id=job_id,
+        name=name or job_id,
+        program=program,
+        program_hash=content_hash(program),
+        target=_normalise_target(request.get("target", "error")),
+        algorithm=str(algorithm),
+        concurrent=concurrent,
+        context_switches=context_switches,
+        early_stop=bool(request.get("early_stop", True)),
+        limits=_request_limits(request, default_limits),
+    )

@@ -74,7 +74,9 @@ class FaultPlan:
     fail_query:
         Raise a plain ``RuntimeError`` when a shard group containing this
         query starts, in any process (a deterministic "crashed"-status
-        failure that does not kill the worker).
+        failure that does not kill the worker).  Honors ``once_token`` the
+        same way the kill does, so a *transient* raise — fails once, retry
+        succeeds — is expressible too (drives the retry-once paths).
     raise_at_safe_point:
         1-based index of the ``gc_step`` safe point at which to raise.
     safe_point_error:
@@ -140,7 +142,10 @@ def on_shard(names: Iterable[str]) -> None:
     if plan.delay_query is not None and plan.delay_query in names:
         time.sleep(plan.delay_seconds)
     if plan.fail_query is not None and plan.fail_query in names:
-        raise RuntimeError(f"injected shard failure for query {plan.fail_query!r}")
+        if plan.once_token is None or _claim_token(plan.once_token):
+            raise RuntimeError(
+                f"injected shard failure for query {plan.fail_query!r}"
+            )
     if plan.kill_query is not None and plan.kill_query in names and _IN_WORKER:
         if plan.once_token is None or _claim_token(plan.once_token):
             os._exit(plan.kill_exit_code)

@@ -166,3 +166,100 @@ class TestInjectedFailures:
         faults.install(FaultPlan(raise_at_safe_point=10_000))
         result = check_reachability(POSITIVE, target="main:target", algorithm="ef")
         assert result.reachable
+
+    def test_transient_fail_query_latches_on_once_token(self, tmp_path):
+        # fail_query honors once_token the same way the kill does: the
+        # first on_shard raises, the second passes — the primitive behind
+        # every "transient failure, retry succeeds" test.
+        token = tmp_path / "latch"
+        faults.install(FaultPlan(fail_query="p", once_token=str(token)))
+        with pytest.raises(RuntimeError, match="injected shard failure"):
+            faults.on_shard(["p"])
+        assert token.exists()
+        faults.on_shard(["p"])  # latched: no second raise
+
+
+DRIVER_KILL_SCRIPT = """
+import os, sys, time
+sys.path.insert(0, {src!r})
+from repro.parallel import BatchQuery, run_shards
+from repro.testing.faults import FaultPlan
+
+POSITIVE = {positive!r}
+NEGATIVE = {negative!r}
+
+queries = [
+    BatchQuery(name="p", program=POSITIVE, target="main:target"),
+    BatchQuery(name="n", program=NEGATIVE, target="main:target"),
+]
+# One group hangs in its worker far longer than the test runs, so the
+# driver is guaranteed to be blocked mid-batch when the signal arrives.
+plan = FaultPlan(delay_query="p", delay_seconds=120.0)
+print("READY", flush=True)
+try:
+    run_shards(queries, jobs=2, fault_plan=plan)
+except KeyboardInterrupt:
+    print("INTERRUPTED", flush=True)
+    sys.exit(0)
+print("FINISHED", flush=True)
+"""
+
+
+class TestDriverSignalCleanup:
+    """SIGTERM/SIGINT mid-batch must terminate the worker pool — no orphans."""
+
+    def _children_of(self, pid):
+        try:
+            with open(f"/proc/{pid}/task/{pid}/children") as handle:
+                return [int(tok) for tok in handle.read().split()]
+        except OSError:
+            return []
+
+    @pytest.mark.parametrize("signum", [15, 2])  # SIGTERM, SIGINT
+    def test_driver_kill_mid_batch_leaves_no_orphans(self, tmp_path, signum):
+        import pathlib
+        import signal as signal_module
+        import subprocess
+        import sys
+
+        if not os.path.exists("/proc"):
+            pytest.skip("requires /proc to enumerate child processes")
+        src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+        script = DRIVER_KILL_SCRIPT.format(
+            src=src, positive=POSITIVE, negative=NEGATIVE
+        )
+        driver = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            assert driver.stdout.readline().strip() == "READY"
+            # Wait for the pool workers to exist and start their shards.
+            workers = []
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                workers = self._children_of(driver.pid)
+                if len(workers) >= 2:
+                    break
+                time.sleep(0.05)
+            assert len(workers) >= 2, "pool workers never appeared"
+            time.sleep(0.5)  # let the delayed shard enter its sleep
+            driver.send_signal(signum)
+            out, _ = driver.communicate(timeout=30)
+        finally:
+            if driver.poll() is None:
+                driver.kill()
+                driver.communicate()
+        assert "INTERRUPTED" in out
+        # Every worker the driver had spawned is gone: terminated by the
+        # pool's finally-path teardown, then reaped — not orphaned to init
+        # still holding a 120s sleep.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            alive = [pid for pid in workers if os.path.exists(f"/proc/{pid}")]
+            if not alive:
+                break
+            time.sleep(0.1)
+        assert not alive, f"orphaned worker processes survived: {alive}"

@@ -179,6 +179,91 @@ class TestCliExitCodes:
         assert status == 2
         assert "--jobs" in capsys.readouterr().err
 
+    @pytest.mark.parametrize(
+        "flags,named",
+        [
+            (["--jobs", "-3"], "--jobs"),
+            (["--deadline", "-1"], "--deadline"),
+            (["--node-budget", "0"], "--node-budget"),
+            (["--node-budget", "-5"], "--node-budget"),
+            (["--max-iterations", "0"], "--max-iterations"),
+            (["--shard-timeout", "-2.5"], "--shard-timeout"),
+            (["--shard-timeout", "0"], "--shard-timeout"),
+            (["--retries", "-1"], "--retries"),
+            (["--context-switches", "-1"], "--context-switches"),
+        ],
+    )
+    def test_nonsensical_flag_values_exit_two(self, tmp_path, capsys, flags, named):
+        # Range validation fires before any file I/O: the message names the
+        # flag, lands on stderr, and the exit status is the error status 2.
+        path = tmp_path / "prog.bp"
+        path.write_text(POSITIVE)
+        status = main([str(path), *flags])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert named in captured.err
+        assert captured.out == ""
+        assert "Traceback" not in captured.err
+
+
+class TestCliSingletonRetry:
+    """The single-query path gets the batch path's transient-failure retry."""
+
+    def test_transient_failure_is_retried_once(self, tmp_path, capsys):
+        from repro.testing import FaultPlan, faults
+
+        path = tmp_path / "prog.bp"
+        path.write_text(POSITIVE)
+        token = tmp_path / "once.token"
+        # The injected failure latches on the token: it fires on the first
+        # attempt only, so a single bounded-backoff retry must succeed.
+        faults.install(FaultPlan(fail_query=str(path), once_token=str(token)))
+        try:
+            status = main([str(path), "--target", "main:target"])
+        finally:
+            faults.clear()
+        captured = capsys.readouterr()
+        assert status == 1  # reachable — the retry answered
+        assert "retry" in captured.out
+        assert token.exists()  # the fault did fire once
+
+    def test_retry_is_recorded_in_json_details(self, tmp_path, capsys):
+        from repro.testing import FaultPlan, faults
+
+        path = tmp_path / "prog.bp"
+        path.write_text(POSITIVE)
+        token = tmp_path / "once.token"
+        faults.install(FaultPlan(fail_query=str(path), once_token=str(token)))
+        try:
+            status = main([str(path), "--target", "main:target", "--json"])
+        finally:
+            faults.clear()
+        assert status == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["details"]["retries"] == 1
+
+    def test_persistent_failure_still_raises(self, tmp_path):
+        from repro.testing import FaultPlan, faults
+
+        path = tmp_path / "prog.bp"
+        path.write_text(POSITIVE)
+        # No once_token: the fault fires on every attempt; after the single
+        # retry the genuine failure propagates (it is a bug, not noise).
+        faults.install(FaultPlan(fail_query=str(path)))
+        try:
+            with pytest.raises(RuntimeError, match="injected shard failure"):
+                main([str(path), "--target", "main:target"])
+        finally:
+            faults.clear()
+
+    def test_resource_exhaustion_is_never_retried(self, tmp_path, capsys):
+        # A typed budget trip is deterministic; retrying would double the
+        # cost for the same answer. Exit status 3, single attempt.
+        path = tmp_path / "prog.bp"
+        path.write_text(POSITIVE)
+        status = main([str(path), "--target", "main:target", "--deadline", "0"])
+        assert status == 3
+
 
 class TestCliBatch:
     def _write(self, tmp_path):

@@ -361,6 +361,133 @@ class TestBatchClassification:
         assert by_name["loose"].result.reachable
 
 
+CONCURRENT_HANDOFF = """
+shared decl a, b;
+init a := F, b := F;
+thread ping begin
+  main() begin
+    a := T;
+    if (b) then
+      hit: skip;
+    fi
+  end
+end
+thread pong begin
+  main() begin
+    if (a) then b := T; fi
+  end
+end
+"""
+
+
+class TestConcurrentEngineLimits:
+    """The bounded context-switching engine honors the same envelope.
+
+    ``run_concurrent`` arms the limits on its private manager: deadline and
+    node-budget exhaustion trip as the typed errors, never corrupt shared
+    state (an immediate re-run without limits answers normally), and the
+    batch path classifies them as ``timeout``/``resource`` — not crashes.
+    """
+
+    def _program_and_locations(self):
+        from repro.boolprog import parse_concurrent_program
+        from repro.encode.concurrent import ConcurrentEncoder
+
+        program = parse_concurrent_program(CONCURRENT_HANDOFF)
+        encoder = ConcurrentEncoder(program)
+        return program, [encoder.label_location("ping", "main", "hit")]
+
+    def test_deadline_exhaustion_is_typed_and_recoverable(self):
+        from repro.algorithms import run_concurrent
+
+        program, locations = self._program_and_locations()
+        with pytest.raises(AnalysisTimeout) as info:
+            run_concurrent(
+                program,
+                locations,
+                context_switches=2,
+                limits=ResourceLimits(deadline_seconds=0.0),
+            )
+        assert info.value.resource == "wall-clock"
+        # Exhaustion left nothing behind: the very next run, same program,
+        # no envelope, answers normally.
+        result = run_concurrent(program, locations, context_switches=2)
+        assert result.reachable
+
+    def test_node_budget_exhaustion_is_typed_and_recoverable(self):
+        from repro.algorithms import run_concurrent
+
+        program, locations = self._program_and_locations()
+        with pytest.raises(NodeBudgetExceeded) as info:
+            run_concurrent(
+                program,
+                locations,
+                context_switches=2,
+                limits=ResourceLimits(node_budget=2),
+            )
+        assert info.value.resource == "bdd-nodes"
+        assert info.value.consumed > info.value.budget
+        result = run_concurrent(program, locations, context_switches=2)
+        assert result.reachable
+
+    def test_iteration_budget_overrides_engine_default(self):
+        from repro.algorithms import run_concurrent
+
+        program, locations = self._program_and_locations()
+        with pytest.raises(ResourceExhausted) as info:
+            run_concurrent(
+                program,
+                locations,
+                context_switches=2,
+                limits=ResourceLimits(max_iterations=1),
+            )
+        assert info.value.resource == "iterations"
+
+    def test_concurrent_batch_reports_resource_status(self):
+        # The batch path classifies concurrent exhaustion exactly like
+        # sequential exhaustion: status resource/timeout with the
+        # consumed-vs-budget detail, siblings unaffected.
+        queries = [
+            BatchQuery(
+                name="starved",
+                program=CONCURRENT_HANDOFF,
+                target="ping:main:hit",
+                concurrent=True,
+                context_switches=2,
+                limits=ResourceLimits(node_budget=2),
+            ),
+            BatchQuery(
+                name="healthy",
+                program=CONCURRENT_HANDOFF,
+                target="ping:main:hit",
+                concurrent=True,
+                context_switches=2,
+            ),
+        ]
+        results, _, _ = run_shards(queries, jobs=1)
+        by_name = {shard.name: shard for shard in results}
+        assert by_name["starved"].status == "resource"
+        assert by_name["starved"].error_detail["resource"] == "bdd-nodes"
+        assert by_name["healthy"].status == "ok"
+        assert by_name["healthy"].result.reachable
+
+    def test_concurrent_batch_timeout_status(self):
+        report = run_batch(
+            [
+                BatchQuery(
+                    name="deadline",
+                    program=CONCURRENT_HANDOFF,
+                    target="ping:main:hit",
+                    concurrent=True,
+                    limits=ResourceLimits(deadline_seconds=0.0),
+                )
+            ],
+            jobs=1,
+        )
+        assert report.status_counts() == {"timeout": 1}
+        assert report.rows()[0]["error_detail"]["resource"] == "wall-clock"
+
+
 class TestCliExitCodes:
     def _write(self, tmp_path, name, source):
         path = tmp_path / name
@@ -411,7 +538,7 @@ class TestCliExitCodes:
         path = self._write(tmp_path, "pos.bp", POSITIVE)
         status = main([str(path), "--node-budget", "-5"])
         assert status == 2
-        assert "node_budget" in capsys.readouterr().err
+        assert "--node-budget" in capsys.readouterr().err
 
     def test_unlimited_run_is_unchanged(self, tmp_path, capsys):
         path = self._write(tmp_path, "pos.bp", POSITIVE)
