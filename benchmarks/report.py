@@ -15,10 +15,14 @@ Usage::
     python benchmarks/report.py figure3-parallel   # Bluetooth, sharded symbolic
     python benchmarks/report.py session            # fresh vs session-reuse sweep
     python benchmarks/report.py kernel             # BDD kernel micro-benchmarks
+    python benchmarks/report.py kernel --emit-json BENCH_kernel.json
+                                                   # dict-vs-array record
     python benchmarks/report.py parallel-smoke     # CI: pool pickling smoke
     python benchmarks/report.py session-smoke      # CI: per-shard session reuse
     python benchmarks/report.py faults             # limits-armed overhead table
     python benchmarks/report.py faults-smoke       # CI: worker-kill retry smoke
+    python benchmarks/report.py array-kernel-smoke # CI: SoA parity + count win
+    python benchmarks/report.py snapshot-smoke     # CI: copy-free attach + fan-out
     python benchmarks/report.py all
 """
 
@@ -544,6 +548,161 @@ def kernel(bits: int = 14) -> None:
         )
 
 
+def kernel_json(path: str, bits: int = 12, rounds: int = 3) -> None:
+    """Write the dict-vs-array kernel record to ``path`` (committed policy).
+
+    The dict layout is the seed kernel's node store, so each row is a
+    seed-vs-current comparison: per-case wall clock for both layouts,
+    speedup, plus the array store's peak/live node counts and GC
+    collections.  Checksum identity between layouts is asserted inside
+    :func:`bench_bdd_kernel.compare_report`.
+    """
+    import json
+    import platform
+
+    from bench_bdd_kernel import compare_report
+
+    rows = compare_report(bits, rounds=rounds)
+    record = {
+        "benchmark": "bdd-kernel-store-comparison",
+        "bits": bits,
+        "rounds": rounds,
+        "python": platform.python_version(),
+        "baseline_store": "dict (seed layout)",
+        "candidate_store": "array (struct-of-arrays)",
+        "rows": [
+            {
+                "case": row.case,
+                "dict_seconds": round(row.dict_seconds, 6),
+                "array_seconds": round(row.array_seconds, 6),
+                "speedup": round(row.speedup, 3),
+                "checksum": row.array_result.checksum,
+                "peak_nodes": row.array_result.peak_nodes,
+                "live_nodes": row.array_result.live_nodes,
+                "gc_collections": row.array_result.gc_collections,
+            }
+            for row in rows
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {path}: {len(rows)} cases at bits={bits}, best of {rounds}")
+    for row in rows:
+        print(
+            f"  {row.case:10s} dict={row.dict_seconds:7.3f}s "
+            f"array={row.array_seconds:7.3f}s speedup={row.speedup:5.2f}x"
+        )
+
+
+def array_kernel_smoke(bits: int | None = None) -> None:
+    """CI gate for the struct-of-arrays store (see bench_bdd_kernel.array_smoke)."""
+    from bench_bdd_kernel import array_smoke
+
+    array_smoke(**({} if bits is None else {"bits": bits}))
+
+
+def _vm_rss_bytes() -> int:
+    """Resident set size of this process, from /proc (Linux CI runners)."""
+    with open("/proc/self/status") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) * 1024
+    raise RuntimeError("VmRSS not found in /proc/self/status")
+
+
+def snapshot_smoke(jobs: int = 2) -> None:
+    """CI smoke for shared-memory snapshots: copy-free attach + jobs=2 fan-out.
+
+    Two assertions:
+
+    * **Copy-free attach** — freezing a solved table and attaching a view +
+      overlay must grow this process's RSS by far less than the segment
+      size (the mapping is lazy; nothing is deserialised), while answering
+      the same ``count_sat`` as the live manager.
+    * **Fan-out identity** — ``run_shards_snapshot`` at ``--jobs 2`` must
+      take the snapshot-pool path, answer every target with the classic
+      grouped path's verdict, attribute exactly one solve, and leave no
+      ``repro-snap-*`` segment behind.
+    """
+    import os
+
+    from repro.bdd import BddManager, SnapshotOverlayManager, SnapshotView
+    from repro.bdd import snapshot as bdd_snapshot
+    from repro.parallel import BatchQuery, run_shards, run_shards_snapshot
+
+    from bench_bdd_kernel import _hidden_weighted_bit, _make_manager
+
+    before_segments = set(bdd_snapshot.list_segments())
+
+    # -- copy-free attach with a bounded RSS delta.
+    mgr = _make_manager(10)
+    f = mgr.ref(_hidden_weighted_bit(mgr, list(mgr.var_names)))
+    mgr.collect_garbage()
+    expected_count = mgr.count_sat(f)
+    name = bdd_snapshot.freeze(mgr)
+    try:
+        segment_bytes = os.path.getsize(f"/dev/shm/{name}")
+        rss_before = _vm_rss_bytes()
+        view = SnapshotView(name)
+        overlay = SnapshotOverlayManager(view)
+        rss_delta = _vm_rss_bytes() - rss_before
+        budget = max(segment_bytes // 4, 256 * 1024)
+        assert rss_delta < budget, (
+            f"attach copied the table: RSS grew {rss_delta} bytes against a "
+            f"{segment_bytes}-byte segment (budget {budget})"
+        )
+        assert overlay.count_sat(f) == expected_count, "snapshot count diverged"
+        overlay.detach()
+    finally:
+        bdd_snapshot.unlink(name)
+    print(
+        f"snapshot smoke: attach ok ({segment_bytes} B segment, "
+        f"RSS delta {rss_delta} B, count_sat identical)"
+    )
+
+    # -- shard fan-out over one shared solved table.
+    program = """
+    decl g;
+    main() begin
+      decl x;
+      x := *;
+      call set_flag(x);
+      if (g) then yes: skip; fi
+      if (!g) then no_g: skip; fi
+      if (g & !g) then never: skip; fi
+      done: skip;
+    end
+    set_flag(v) begin
+      g := v;
+      if (!v) then cold: skip; fi
+    end
+    """
+    targets = ["main:yes", "main:no_g", "main:never", "set_flag:cold", "main:done"]
+    queries = [
+        BatchQuery(name=f"snap:{target}", program=program, target=target)
+        for target in targets
+    ]
+    classic, _, _ = run_shards(queries, jobs=1)
+    snap, mode, reason = run_shards_snapshot(queries, jobs=jobs)
+    assert mode == "snapshot-pool", f"fan-out fell back ({reason})"
+    assert all(shard.ok for shard in snap), [shard.error for shard in snap]
+    verdicts = [shard.result.reachable for shard in snap]
+    assert verdicts == [shard.result.reachable for shard in classic], (
+        "snapshot fan-out verdicts diverged from the classic path"
+    )
+    solves = [shard.reused_solve for shard in snap].count(False)
+    assert solves == 1, f"expected exactly one attributed solve, saw {solves}"
+    leaked = set(bdd_snapshot.list_segments()) - before_segments
+    assert not leaked, f"leaked segments: {sorted(leaked)}"
+    pids = {shard.pid for shard in snap}
+    print(
+        f"snapshot smoke OK: {len(queries)} targets over {len(pids)} worker "
+        f"process(es) at jobs={jobs}, verdicts identical, one solve, "
+        f"no leaked segments"
+    )
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -560,6 +719,8 @@ def main(argv: List[str] | None = None) -> int:
             "session-smoke",
             "faults",
             "faults-smoke",
+            "array-kernel-smoke",
+            "snapshot-smoke",
             "all",
         ],
         help="which table to regenerate",
@@ -570,6 +731,12 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "--kernel-bits", type=int, default=14, help="counter width for the kernel table"
+    )
+    parser.add_argument(
+        "--emit-json",
+        metavar="PATH",
+        default=None,
+        help="with 'kernel': write the dict-vs-array comparison record to PATH",
     )
     parser.add_argument(
         "--algorithm",
@@ -597,7 +764,14 @@ def main(argv: List[str] | None = None) -> int:
         session_table(algorithm=args.algorithm)
         print()
     if args.what in ("kernel", "all"):
-        kernel(bits=args.kernel_bits)
+        if args.emit_json:
+            kernel_json(args.emit_json, bits=min(args.kernel_bits, 12))
+        else:
+            kernel(bits=args.kernel_bits)
+    if args.what == "array-kernel-smoke":
+        array_kernel_smoke()
+    if args.what == "snapshot-smoke":
+        snapshot_smoke(jobs=min(args.jobs, 2))
     if args.what == "parallel-smoke":
         parallel_smoke()
     if args.what == "session-smoke":

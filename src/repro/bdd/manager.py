@@ -67,6 +67,7 @@ bookkeeping in one step so per-run snapshots do not leak across runs.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import (
     Callable,
@@ -101,7 +102,7 @@ class QuantCube:
     rejects empty sets, so a hand-built cube behaves like an interned one.
     """
 
-    __slots__ = ("levels", "members", "last")
+    __slots__ = ("levels", "members", "last", "uid")
 
     def __init__(self, levels: Iterable[int]) -> None:
         ordered = tuple(sorted(set(levels)))
@@ -110,6 +111,10 @@ class QuantCube:
         self.levels = ordered
         self.members = set(ordered)
         self.last = ordered[-1]
+        # Small per-manager integer assigned at intern time by the array
+        # store, where it packs into integer cache keys.  The dict store
+        # never reads it.
+        self.uid: Optional[int] = None
 
     def __repr__(self) -> str:
         return f"QuantCube{self.levels}"
@@ -148,10 +153,35 @@ class BddManager:
         Optional cap on the summed size of the operation caches; when a
         :meth:`maybe_collect` safe point finds the caches larger, they are
         dropped even if no node collection runs.
+    store:
+        Node-store layout: ``"array"`` (default) selects the struct-of-arrays
+        store (flat ``array('q')`` node vectors, packed-integer cache keys,
+        vectorised GC sweep and ``count_sat``, shared-memory snapshot
+        support); ``"dict"`` selects the original list-and-tuple store as
+        the sequential fallback.  ``None`` consults the ``REPRO_BDD_STORE``
+        environment variable before defaulting to ``"array"``.  Both layouts
+        are behaviourally identical behind the signed-edge API (the
+        differential suite is parametrised over both).
     """
 
     FALSE = 0
     TRUE = 1
+
+    #: Node-store layout name, reported by :meth:`stats`.
+    STORE = "dict"
+
+    def __new__(cls, *args, **kwargs):
+        if cls is BddManager:
+            choice = kwargs.get("store")
+            if choice is None:
+                choice = os.environ.get("REPRO_BDD_STORE") or "array"
+            if choice == "array":
+                from ._array import ArrayBddManager
+
+                cls = ArrayBddManager
+            elif choice != "dict":
+                raise BddError(f"unknown node store {choice!r} (use 'array' or 'dict')")
+        return object.__new__(cls)
 
     #: Sentinel level used for the terminal node; greater than any variable.
     _TERMINAL_LEVEL = 1 << 60
@@ -166,7 +196,12 @@ class BddManager:
         gc_threshold: int = 65_536,
         gc_growth: float = 2.0,
         cache_limit: Optional[int] = None,
+        store: Optional[str] = None,
     ) -> None:
+        # ``store`` is consumed by :meth:`__new__` (layout dispatch); it is
+        # accepted here so both layouts share one constructor signature.
+        if store is not None and store not in ("array", "dict"):
+            raise BddError(f"unknown node store {store!r} (use 'array' or 'dict')")
         # Parallel node arrays.  Index 0 is the sole terminal; a signed edge
         # is (index << 1) | complement, so FALSE = 0 and TRUE = 1.
         self._level: List[int] = [self._TERMINAL_LEVEL]
@@ -1592,6 +1627,7 @@ class BddManager:
             "restrict": len(self._restrict_cache),
         }
         return {
+            "store": self.STORE,
             "nodes": self._live,
             "peak_nodes": self._peak_live,
             "capacity": len(self._level),
@@ -1637,10 +1673,12 @@ class _RenameMap:
     component.
     """
 
-    __slots__ = ("mapping",)
+    __slots__ = ("mapping", "uid")
 
     def __init__(self, mapping: Dict[int, int]) -> None:
         self.mapping = mapping
+        # Assigned at intern time by the array store (packed cache keys).
+        self.uid: Optional[int] = None
 
     def __repr__(self) -> str:
         return f"_RenameMap({self.mapping})"

@@ -1,0 +1,503 @@
+"""Read-only shared-memory snapshots of solved BDD node tables.
+
+The struct-of-arrays store (:class:`repro.bdd._array.ArrayBddManager`) keeps
+its node table in three flat int64 vectors, which makes a *snapshot* a plain
+``memcpy``: :func:`freeze` copies the (GC-compacted) vectors plus a frozen
+open-addressing image of the unique table into a named
+:mod:`multiprocessing.shared_memory` segment.  Other processes attach
+**copy-free** — the segment is mapped, never deserialised — and run query
+post-passes (``check`` / ``check_all`` / ``count_sat``) against the solved
+table through a :class:`SnapshotOverlayManager`.
+
+Why an overlay and not a bare read-only view: a query post-pass still
+*allocates* (the Target template and the query plan's intermediate BDDs are
+new nodes).  The overlay therefore chains a private, process-local tail onto
+the immutable base prefix and — crucially — probes the frozen unique table
+in ``_mk`` before allocating, so every node that already exists in the base
+is found, canonicity holds across the base/tail boundary, and signed-edge
+equality keeps meaning function equality.  Without that probe a
+semantically-constant result could materialise as a fresh non-terminal node
+and a ``result == TRUE`` verdict would silently go wrong.
+
+Segment lifecycle contract
+--------------------------
+* The **freezer** creates the segment; its ``resource_tracker`` registration
+  is kept as a crash-safety net (a killed freezer's tracker unlinks the
+  segment) until ownership is handed off with :func:`disown` — after that,
+  exactly one owner (the shard driver or the service daemon) is responsible
+  for :func:`unlink`.
+* **Attachers** never own the segment: :class:`SnapshotView` unregisters
+  itself from its process's tracker immediately (Python registers on attach
+  too, and an exiting attacher's tracker would otherwise unlink the segment
+  under everyone else — the classic ``shared_memory`` wart) and only ever
+  ``close()``\\ s.
+* :func:`unlink` is idempotent (a missing segment is not an error), so
+  drain paths, chaos recovery and ``finally`` blocks can all call it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import secrets
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import NodeBudgetExceeded
+from . import _vector
+from ._array import EDGE_BITS, LEVEL_SHIFT, MAX_NODE_INDEX, ArrayBddManager
+from .manager import BddError, BddManager
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SnapshotView",
+    "SnapshotOverlayManager",
+    "freeze",
+    "disown",
+    "unlink",
+    "list_segments",
+]
+
+#: Every snapshot segment name starts with this (tests and drain sweeps key
+#: on it; /dev/shm listing is the ground truth for leak assertions).
+SEGMENT_PREFIX = "repro-snap-"
+
+_MAGIC = 0x52505230_534E4150  # "RPR0SNAP"
+_VERSION = 1
+_HEADER_WORDS = 8
+_HEADER_BYTES = _HEADER_WORDS * 8
+
+
+def _mix(key: int) -> int:
+    """Cheap avalanche for open-addressing probes (keys are structured)."""
+    return key ^ (key >> 29)
+
+
+def _pad8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
+
+
+def freeze(manager: BddManager, name: Optional[str] = None) -> str:
+    """Copy a manager's node table into a new shared-memory segment.
+
+    The manager must use the array store and should be GC-swept first so
+    the frozen image is compact (``AnalysisSession.freeze`` does both).
+    Returns the segment name.  The calling process keeps the
+    resource-tracker registration (crash-safety) until :func:`disown`.
+    """
+    from multiprocessing import shared_memory
+
+    if not isinstance(manager, ArrayBddManager):
+        raise BddError(
+            f"snapshots need the array node store (manager uses {manager.STORE!r})"
+        )
+    if isinstance(manager, SnapshotOverlayManager):
+        raise BddError("cannot freeze a snapshot overlay manager")
+    capacity = len(manager._level)
+    unique = manager._unique
+    table_size = 8
+    while table_size < 2 * len(unique) + 1:
+        table_size <<= 1
+    meta = pickle.dumps(
+        {"var_names": manager.var_names, "live": manager._live},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    meta_len = len(meta)
+    arrays_off = _HEADER_BYTES + _pad8(meta_len)
+    total = arrays_off + 3 * capacity * 8 + 2 * table_size * 8
+    if name is None:
+        name = segment_name()
+    shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+    try:
+        header = array(
+            "q",
+            [
+                _MAGIC,
+                _VERSION,
+                capacity,
+                manager.num_vars,
+                manager._live,
+                table_size,
+                meta_len,
+                0,
+            ],
+        )
+        buf = shm.buf
+        buf[:_HEADER_BYTES] = header.tobytes()
+        buf[_HEADER_BYTES : _HEADER_BYTES + meta_len] = meta
+        off = arrays_off
+        for vec in (manager._level, manager._lo, manager._hi):
+            raw = vec.tobytes()
+            buf[off : off + len(raw)] = raw
+            off += capacity * 8
+        # Frozen open-addressing unique table: parallel key/value int64
+        # arrays, linear probing, key 0 = empty (the packed key 0 would be
+        # the node (0, FALSE, FALSE), which reduction makes unrepresentable).
+        keys = array("q", bytes(table_size * 8))
+        vals = array("q", bytes(table_size * 8))
+        mask = table_size - 1
+        for key, index in unique.items():
+            i = _mix(key) & mask
+            while keys[i]:
+                i = (i + 1) & mask
+            keys[i] = key
+            vals[i] = index
+        raw = keys.tobytes()
+        buf[off : off + len(raw)] = raw
+        off += table_size * 8
+        raw = vals.tobytes()
+        buf[off : off + len(raw)] = raw
+        shm.close()
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return name
+
+
+def disown(name: str) -> None:
+    """Drop this process's resource-tracker registration for a segment.
+
+    Called by the freezer once another process has accepted ownership (the
+    name was delivered in a result/outcome): from then on the owner's
+    :func:`unlink` is the cleanup path and the freezer's exit must not
+    destroy — or warn about — the segment.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:
+        pass
+
+
+def unlink(name: str) -> bool:
+    """Destroy a segment by name; idempotent (False when already gone)."""
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        shm.unlink()  # also unregisters the attach-registration just made
+    finally:
+        shm.close()
+    return True
+
+
+def list_segments() -> List[str]:
+    """Snapshot segments currently present in /dev/shm (leak assertions)."""
+    try:
+        return sorted(
+            entry for entry in os.listdir("/dev/shm") if entry.startswith(SEGMENT_PREFIX)
+        )
+    except OSError:
+        return []
+
+
+class SnapshotView:
+    """A copy-free attachment to a frozen node table.
+
+    Exposes the three node vectors as read-only int64 memoryviews (plus
+    numpy aliases when numpy is available), the frozen unique-table probe,
+    and the metadata needed to rebuild a manager around the image.  Views
+    only ever ``close()``; they never unlink (see the module docstring).
+    """
+
+    def __init__(self, name: str) -> None:
+        from multiprocessing import shared_memory
+
+        self.name = name
+        self._shm = shared_memory.SharedMemory(name=name)
+        # Python registers attachments with the resource tracker as if they
+        # were creations; undo that immediately or this process's exit
+        # would unlink the segment under its real owner.
+        disown(name)
+        header = array("q", bytes(self._shm.buf[:_HEADER_BYTES]))
+        if header[0] != _MAGIC or header[1] != _VERSION:
+            self._shm.close()
+            raise BddError(f"segment {name!r} is not a compatible snapshot")
+        self.capacity = header[2]
+        self.num_vars = header[3]
+        self.live = header[4]
+        self._table_size = header[5]
+        meta_len = header[6]
+        meta = pickle.loads(bytes(self._shm.buf[_HEADER_BYTES : _HEADER_BYTES + meta_len]))
+        self.var_names: Tuple[str, ...] = tuple(meta["var_names"])
+        off = _HEADER_BYTES + _pad8(meta_len)
+        cap_b = self.capacity * 8
+        tab_b = self._table_size * 8
+        buf = self._shm.buf
+        self._views: List[memoryview] = []
+
+        def span(start: int, nbytes: int) -> memoryview:
+            view = buf[start : start + nbytes].toreadonly().cast("q")
+            self._views.append(view)
+            return view
+
+        self.level = span(off, cap_b)
+        self.lo = span(off + cap_b, cap_b)
+        self.hi = span(off + 2 * cap_b, cap_b)
+        self._keys = span(off + 3 * cap_b, tab_b)
+        self._vals = span(off + 3 * cap_b + tab_b, tab_b)
+        self.level_np = self.lo_np = self.hi_np = None
+        if _vector.HAVE_NUMPY:
+            import numpy as np
+
+            self.level_np = np.frombuffer(self.level, dtype=np.int64)
+            self.lo_np = np.frombuffer(self.lo, dtype=np.int64)
+            self.hi_np = np.frombuffer(self.hi, dtype=np.int64)
+        self._closed = False
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Probe the frozen unique table for a packed ``(level, lo, hi)`` key."""
+        keys = self._keys
+        mask = self._table_size - 1
+        i = _mix(key) & mask
+        while True:
+            k = keys[i]
+            if k == key:
+                return self._vals[i]
+            if k == 0:
+                return None
+            i = (i + 1) & mask
+
+    def close(self) -> None:
+        """Detach from the segment (idempotent).  Never unlinks."""
+        if self._closed:
+            return
+        self._closed = True
+        self.level_np = self.lo_np = self.hi_np = None
+        self.level = self.lo = self.hi = self._keys = self._vals = None
+        for view in self._views:
+            view.release()
+        self._views.clear()
+        self._shm.close()
+
+    def __enter__(self) -> "SnapshotView":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _ChainVec:
+    """A node vector = immutable base prefix + private growable tail."""
+
+    __slots__ = ("base", "base_len", "tail")
+
+    def __init__(self, base, tail: array) -> None:
+        self.base = base
+        self.base_len = len(base)
+        self.tail = tail
+
+    def __len__(self) -> int:
+        return self.base_len + len(self.tail)
+
+    def __getitem__(self, index: int) -> int:
+        if index < self.base_len:
+            return self.base[index]
+        return self.tail[index - self.base_len]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        # Writes below base_len would corrupt the shared image for every
+        # attached process; the overlay's GC never frees base slots, so
+        # this can only be a bug.
+        self.tail[index - self.base_len] = value
+
+    def append(self, value: int) -> None:
+        self.tail.append(value)
+
+
+class SnapshotOverlayManager(ArrayBddManager):
+    """An allocation-capable manager over a frozen base table.
+
+    Shares the base's node index space (indices below ``view.capacity`` are
+    the frozen nodes; frozen signed edges stay valid verbatim) and allocates
+    query-time nodes into a private tail.  ``_mk`` probes the local unique
+    dict, then the frozen open-addressing table, then allocates — so
+    canonicity spans both halves.  GC sweeps only the tail (base nodes are
+    immortal here; the owner of the segment decides its lifetime), and
+    ``_live``/``len()`` count only terminal + tail nodes: an attached
+    overlay *is* cheap, and session-pool LRU pricing must see it that way.
+    """
+
+    def __init__(self, view: SnapshotView, **kwargs) -> None:
+        self._view = view
+        super().__init__(list(view.var_names), **kwargs)
+        self._base_len = view.capacity
+        self._level = _ChainVec(view.level, array("q"))
+        self._lo = _ChainVec(view.lo, array("q"))
+        self._hi = _ChainVec(view.hi, array("q"))
+        self._unique = {}
+        self._free = []
+
+    # -- node creation ---------------------------------------------------
+    def _mk(self, level: int, lo: int, hi: int) -> int:
+        if lo == hi:
+            return lo
+        sign = hi & 1
+        if sign:
+            lo ^= 1
+            hi ^= 1
+        key = (level << LEVEL_SHIFT) | (lo << EDGE_BITS) | hi
+        index = self._unique.get(key)
+        if index is None:
+            index = self._view.lookup(key)
+            if index is not None:
+                # A frozen node: cache the hit locally so repeat lookups
+                # skip the shared-memory probe.
+                self._unique[key] = index
+                return (index << 1) | sign
+            free = self._free
+            if free:
+                index = free.pop()
+                self._level[index] = level
+                self._lo[index] = lo
+                self._hi[index] = hi
+            else:
+                index = len(self._level)
+                if index > MAX_NODE_INDEX:
+                    raise BddError(
+                        f"array store supports at most {MAX_NODE_INDEX} node "
+                        "slots (packed-key bound); construct the manager with "
+                        "store='dict'"
+                    )
+                self._level.append(level)
+                self._lo.append(lo)
+                self._hi.append(hi)
+            self._unique[key] = index
+            self._live += 1
+            if self._live > self._peak_live:
+                self._peak_live = self._live
+            if self._node_budget is not None and self._live > self._node_budget:
+                raise NodeBudgetExceeded(consumed=self._live, budget=self._node_budget)
+            if self._deadline is not None:
+                self._deadline_countdown -= 1
+                if self._deadline_countdown <= 0:
+                    self._deadline_countdown = self._deadline_interval
+                    self._check_deadline()
+        return (index << 1) | sign
+
+    # -- garbage collection (tail-only) ----------------------------------
+    def collect_garbage(self, roots: Iterable[int] = ()) -> int:
+        base_len = self._base_len
+        tail_len = len(self._level) - base_len
+        marked = bytearray(tail_len)
+        stack: List[int] = list(self._extref)
+        for edge in roots:
+            stack.append(edge >> 1)
+        level = self._level
+        lo = self._lo
+        hi = self._hi
+        while stack:
+            index = stack.pop()
+            if index < base_len:
+                # Frozen nodes are immortal and closed under reachability:
+                # nothing below them can be a tail node.
+                continue
+            local = index - base_len
+            if marked[local]:
+                continue
+            marked[local] = 1
+            stack.append(lo[index] >> 1)
+            stack.append(hi[index] >> 1)
+        reclaimed = 0
+        free_level = self._FREE_LEVEL
+        unique = self._unique
+        for local in range(tail_len):
+            index = base_len + local
+            if marked[local] or level[index] == free_level:
+                continue
+            del unique[
+                (level[index] << LEVEL_SHIFT) | (lo[index] << EDGE_BITS) | hi[index]
+            ]
+            level[index] = free_level
+            lo[index] = 0
+            hi[index] = 0
+            self._free.append(index)
+            reclaimed += 1
+        self._gc_collections += 1
+        if reclaimed:
+            self._live -= reclaimed
+            self._gc_reclaimed += reclaimed
+            self._trim_tail_scalar()
+            self._drop_op_caches()
+            for hook in self._gc_hooks:
+                hook()
+        return reclaimed
+
+    def _trim_tail_scalar(self) -> None:
+        tail = self._level.tail
+        last = len(tail) - 1
+        free_level = self._FREE_LEVEL
+        while last >= 0 and tail[last] == free_level:
+            last -= 1
+        keep = last + 1
+        if keep == len(tail):
+            return
+        del self._level.tail[keep:]
+        del self._lo.tail[keep:]
+        del self._hi.tail[keep:]
+        boundary = self._base_len + keep
+        self._free = sorted((i for i in self._free if i < boundary), reverse=True)
+
+    # -- vectorised counting over the frozen image -----------------------
+    def count_sat(self, f: int, variables: Optional[Iterable[int | str]] = None) -> int:
+        view = self._view
+        if (
+            f > 1
+            and (f >> 1) < self._base_len
+            and view.level_np is not None
+            and not self._closed_view()
+        ):
+            # Frozen roots are closed over frozen nodes, so the vectorised
+            # bottom-up pass can run directly on the shared image.
+            if variables is None:
+                var_set = frozenset(range(len(self._var_names)))
+            else:
+                var_set = self._var_set(variables)
+                missing = self.support(f) - var_set
+                if missing:
+                    names = sorted(self._var_names[i] for i in missing)
+                    raise BddError(
+                        f"count_sat variables must cover the support; missing {names}"
+                    )
+            order = sorted(var_set)
+            total_levels = len(order)
+            if total_levels <= _vector.MAX_VECTOR_COUNT_LEVELS:
+                import numpy as np
+
+                pos_of = np.full(max(len(self._var_names), 1), -1, dtype=np.int64)
+                for pos, lvl in enumerate(order):
+                    pos_of[lvl] = pos
+                return _vector.count_sat_vector(
+                    view.level_np, view.lo_np, view.hi_np, f, pos_of, total_levels
+                )
+        # Tail-rooted (or numpy-less) counts walk the chain vector with the
+        # dict store's exact memoised recursion.
+        return BddManager.count_sat(self, f, variables)
+
+    def _closed_view(self) -> bool:
+        return getattr(self._view, "_closed", True)
+
+    # -- lifecycle / stats -----------------------------------------------
+    def detach(self) -> None:
+        """Release the underlying view (the manager must not be used after)."""
+        self._view.close()
+
+    def stats(self) -> Dict[str, object]:
+        data = super().stats()
+        data["store"] = "array-snapshot-overlay"
+        data["snapshot"] = {
+            "segment": self._view.name,
+            "base_capacity": self._base_len,
+            "base_live": self._view.live,
+            "overlay_nodes": self._live,
+        }
+        return data

@@ -14,6 +14,7 @@ from .shards import (
     run_shard,
     run_shard_group,
     run_shards,
+    run_shards_snapshot,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "run_shard",
     "run_shard_group",
     "run_shards",
+    "run_shards_snapshot",
 ]

@@ -54,7 +54,14 @@ from ..errors import AnalysisTimeout, ResourceExhausted
 from ..limits import DEGRADATION_LADDER, ResourceLimits
 from ..testing import faults
 
-__all__ = ["BatchQuery", "ShardResult", "run_shard", "run_shard_group", "run_shards"]
+__all__ = [
+    "BatchQuery",
+    "ShardResult",
+    "run_shard",
+    "run_shard_group",
+    "run_shards",
+    "run_shards_snapshot",
+]
 
 
 @dataclass
@@ -369,6 +376,236 @@ def run_shard_group(queries: Sequence[BatchQuery]) -> List[ShardResult]:
     finally:
         session.close()
     return results
+
+
+def _snapshot_pool_entry(
+    handle, queries: List[BatchQuery], fault_plan: Optional[faults.FaultPlan] = None
+) -> List[ShardResult]:
+    """Pool worker entry point for the snapshot fan-out path.
+
+    Attaches to the driver's frozen solved table copy-free
+    (:meth:`repro.api.AnalysisSession.from_snapshot`) and answers its chunk
+    of targets as query post-passes — no fixed-point iteration runs in any
+    worker.  The attachment is read-only shared memory, so every worker of
+    the fan-out shares ONE copy of the solved node table.
+    """
+    if fault_plan is not None:
+        faults.install(fault_plan, worker=True)
+    try:
+        faults.on_shard([query.name for query in queries])
+    except Exception as exc:  # noqa: BLE001 — an injected raise fails the chunk cleanly
+        return [_failure_shard(query, exc, 0.0) for query in queries]
+    from ..api.session import AnalysisSession
+
+    started = time.perf_counter()
+    try:
+        session = AnalysisSession.from_snapshot(handle, limits=queries[0].limits)
+    except Exception as exc:  # noqa: BLE001 — a vanished/corrupt segment fails the chunk
+        elapsed = time.perf_counter() - started
+        return [
+            _failure_shard(query, exc, elapsed if index == 0 else 0.0)
+            for index, query in enumerate(queries)
+        ]
+    results: List[ShardResult] = []
+    try:
+        for query in queries:
+            query_started = time.perf_counter()
+            try:
+                result = _session_check(session, query)
+                results.append(
+                    ShardResult(
+                        name=query.name,
+                        result=result,
+                        pid=os.getpid(),
+                        elapsed_seconds=time.perf_counter() - query_started,
+                        expected=query.expected,
+                        reused_solve=True,
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 — one bad target, not the chunk
+                results.append(
+                    _failure_shard(query, exc, time.perf_counter() - query_started)
+                )
+    finally:
+        session.close()
+    return results
+
+
+def _snapshot_eligible(queries: Sequence[BatchQuery]) -> Optional[str]:
+    """None when the batch can ride one snapshot; else the blocking reason."""
+    head = queries[0]
+    if head.concurrent:
+        return "concurrent queries have no session/snapshot support"
+    key = _group_key(head, 0)
+    for index, query in enumerate(queries[1:], start=1):
+        if query.concurrent or _group_key(query, index) != key:
+            return "queries span multiple programs/algorithms/envelopes"
+    return None
+
+
+def _chunk(indices: Sequence[int], parts: int) -> List[List[int]]:
+    """Split indices into at most ``parts`` contiguous, near-equal chunks."""
+    parts = max(1, min(parts, len(indices)))
+    size, extra = divmod(len(indices), parts)
+    chunks: List[List[int]] = []
+    start = 0
+    for part in range(parts):
+        stop = start + size + (1 if part < extra else 0)
+        chunks.append(list(indices[start:stop]))
+        start = stop
+    return chunks
+
+
+def run_shards_snapshot(
+    queries: Sequence[BatchQuery],
+    jobs: int = 2,
+    start_method: Optional[str] = None,
+    shard_timeout: Optional[float] = None,
+    fault_plan: Optional[faults.FaultPlan] = None,
+) -> Tuple[List[ShardResult], str, Optional[str]]:
+    """Fan one program's targets out over workers sharing ONE solved table.
+
+    The classic grouped path (:func:`run_shards`) collapses a same-program
+    batch onto one worker: the session — manager, plans, retained fixed
+    point — cannot cross a process boundary, so neither can the
+    parallelism.  The snapshot path decouples the two: the driver solves
+    the summary fixed point once, freezes it into a shared-memory segment
+    (:meth:`repro.api.AnalysisSession.freeze`), and every worker attaches
+    copy-free to run its chunk of targets as post-passes.  Verdicts are
+    identical to the classic path by the overlay's canonicity contract.
+
+    Fault tolerance: a chunk whose worker dies (or times out against
+    ``shard_timeout``) is re-run *inline in the driver* by re-attaching the
+    same segment — the solve is never repeated.  The driver owns the
+    segment and unlinks it in a ``finally``, so neither worker kills nor
+    driver exceptions leak ``/dev/shm`` entries.
+
+    Falls back to :func:`run_shards` (same return contract) when the batch
+    is not snapshot-eligible — mixed programs/algorithms/envelopes,
+    concurrent queries, ``jobs <= 1``, unpicklable batch — or when the
+    solve/freeze itself fails (e.g. the session runs the dict store).
+    Returns ``(results, mode, reason)`` with mode ``"snapshot-pool"`` on
+    the fan-out path.
+    """
+    queries = list(queries)
+    if not queries:
+        return [], "sequential", None
+    reason = _snapshot_eligible(queries)
+    if reason is None and (jobs <= 1 or len(queries) <= 1):
+        reason = "nothing to fan out"
+    if reason is None and not _group_is_picklable(queries):
+        reason = "batch is not picklable"
+    if reason is not None:
+        results, mode, fallback = run_shards(
+            queries,
+            jobs=jobs,
+            start_method=start_method,
+            shard_timeout=shard_timeout,
+            fault_plan=fault_plan,
+        )
+        return results, mode, fallback or reason
+
+    from ..api.session import SessionSpec
+
+    head = queries[0]
+    solve_started = time.perf_counter()
+    try:
+        session = SessionSpec(
+            program=head.program, default_algorithm=head.algorithm, limits=head.limits
+        ).open()
+        try:
+            session.solve(head.algorithm)
+            handle = session.freeze(head.algorithm)
+        finally:
+            session.close()
+    except Exception as exc:  # noqa: BLE001 — no snapshot support: classic path
+        results, mode, fallback = run_shards(
+            queries,
+            jobs=jobs,
+            start_method=start_method,
+            shard_timeout=shard_timeout,
+            fault_plan=fault_plan,
+        )
+        return (
+            results,
+            mode,
+            fallback or f"solve/freeze failed: {type(exc).__name__}: {exc}",
+        )
+    solve_seconds = time.perf_counter() - solve_started
+
+    chunks = _chunk(range(len(queries)), jobs)
+    per_chunk: Dict[int, List[ShardResult]] = {}
+    recovered_inline = 0
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
+        import multiprocessing
+
+        context = multiprocessing.get_context(start_method) if start_method else None
+        try:
+            pool = ProcessPoolExecutor(max_workers=len(chunks), mp_context=context)
+        except Exception:  # noqa: BLE001 — no pool: every chunk runs inline
+            pool = None
+        futures: Dict[int, object] = {}
+        if pool is not None:
+            try:
+                for ci, chunk in enumerate(chunks):
+                    futures[ci] = pool.submit(
+                        _snapshot_pool_entry,
+                        handle,
+                        [queries[i] for i in chunk],
+                        fault_plan,
+                    )
+            except Exception:  # noqa: BLE001 — pool broke during submission
+                pass
+        abandoned = False
+        for ci, chunk in enumerate(chunks):
+            future = futures.get(ci)
+            outcome: Optional[List[ShardResult]] = None
+            if future is not None and not abandoned:
+                try:
+                    outcome = future.result(timeout=shard_timeout)  # type: ignore[attr-defined]
+                except (BrokenProcessPool, FutureTimeout):
+                    # Dead or stuck worker — and, for BrokenProcessPool, a
+                    # condemned pool whose remaining futures will all fail.
+                    # The solve is already banked in the segment: recover
+                    # inline, copy-free, and stop waiting on this pool.
+                    abandoned = True
+                except Exception:  # noqa: BLE001 — transport/entry failure
+                    outcome = None
+            if outcome is None:
+                outcome = _snapshot_pool_entry(handle, [queries[i] for i in chunk])
+                recovered_inline += 1
+            per_chunk[ci] = outcome
+        if pool is not None:
+            if abandoned:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+    finally:
+        handle.unlink()
+
+    ordered: List[ShardResult] = [None] * len(queries)  # type: ignore[list-item]
+    for ci, chunk in enumerate(chunks):
+        for index, shard in zip(chunk, per_chunk[ci]):
+            ordered[index] = shard
+    # The solve/freeze is shared cost; like the classic grouped path, the
+    # first successful shard carries its wall time and attribution.
+    for shard in ordered:
+        if shard.ok:
+            shard.reused_solve = False
+            if shard.result is not None:
+                shard.result.details["reused_solve"] = False
+            shard.elapsed_seconds += solve_seconds
+            break
+    reason = (
+        f"{recovered_inline} chunk(s) re-attached inline after worker failure"
+        if recovered_inline
+        else None
+    )
+    return ordered, "snapshot-pool", reason
 
 
 def _group_key(query: BatchQuery, index: int):

@@ -97,6 +97,14 @@ class QueryJob:
     context_switches: int = 2
     early_stop: bool = True
     limits: Optional[ResourceLimits] = None
+    #: A :class:`repro.api.session.SessionSnapshot` the daemon attached from
+    #: its catalog: the worker opens the session copy-free from the frozen
+    #: solved table instead of re-solving (set by the daemon, never parsed
+    #: from requests).
+    snapshot: Optional[object] = None
+    #: Ask the worker to freeze and return a snapshot after this query
+    #: leaves the session solved (daemon-set; see ``DaemonConfig.snapshots``).
+    publish_snapshot: bool = False
 
     def coalesce_key(self) -> Tuple[object, ...]:
         """Requests with equal keys are answered by one shared execution."""
@@ -134,6 +142,12 @@ class QueryOutcome:
     gc_collections: int = 0
     retries: int = 0
     worker_pid: int = 0
+    #: A freshly frozen :class:`repro.api.session.SessionSnapshot` the
+    #: worker published for the daemon's catalog (``publish_snapshot``).
+    snapshot: Optional[object] = None
+    #: True when the serving session was opened from a catalog snapshot on
+    #: this very query (the solve was skipped, copy-free).
+    snapshot_attached: bool = False
 
     @property
     def ok(self) -> bool:

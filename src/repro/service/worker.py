@@ -38,12 +38,19 @@ __all__ = ["SessionCache", "execute_job", "worker_main"]
 class _CacheEntry:
     """One pooled session plus the bookkeeping the outcome records need."""
 
-    def __init__(self, session: AnalysisSession) -> None:
+    def __init__(self, session: AnalysisSession, from_snapshot: bool = False) -> None:
         self.session = session
         #: Algorithms whose summary fixed point this session has solved; a
         #: repeat query on one of them is a *warm* hit (post-pass, no solve).
         self.solved: set = set()
         self.queries = 0
+        #: The session was attached from a daemon-catalog snapshot (the
+        #: solve was skipped); the first query on it reports the attach.
+        self.from_snapshot = from_snapshot
+        self.attach_reported = False
+        #: Algorithms whose snapshot this worker already published — a
+        #: session is frozen at most once per algorithm per worker life.
+        self.published: set = set()
 
 
 class SessionCache:
@@ -62,15 +69,35 @@ class SessionCache:
         return len(self._entries)
 
     def entry(self, job: QueryJob) -> _CacheEntry:
-        """The pooled session for ``job``'s program (opened on first use)."""
+        """The pooled session for ``job``'s program (opened on first use).
+
+        When the job carries a catalog snapshot, the session is attached
+        copy-free to the frozen solved table instead of compiled from
+        source — the warm-hit contract survives worker death.  A failed
+        attach (segment already unlinked, incompatible image) silently
+        degrades to the classic open-and-solve path.
+        """
         entry = self._entries.get(job.program_hash)
         if entry is None:
-            session = AnalysisSession(
-                job.program,
-                default_algorithm=job.algorithm,
-                limits=job.limits,
-            )
-            entry = _CacheEntry(session)
+            session = None
+            from_snapshot = False
+            if job.snapshot is not None:
+                try:
+                    session = AnalysisSession.from_snapshot(
+                        job.snapshot, limits=job.limits
+                    )
+                    from_snapshot = True
+                except Exception:  # noqa: BLE001 — degrade to a fresh session
+                    session = None
+            if session is None:
+                session = AnalysisSession(
+                    job.program,
+                    default_algorithm=job.algorithm,
+                    limits=job.limits,
+                )
+            entry = _CacheEntry(session, from_snapshot=from_snapshot)
+            if from_snapshot:
+                entry.solved.add(job.snapshot.algorithm)
             self._entries[job.program_hash] = entry
         return entry
 
@@ -137,6 +164,24 @@ def _session_outcome(cache: SessionCache, job: QueryJob, started: float) -> Quer
     # the session solved for this algorithm: the next query is a warm hit.
     if result.details.get("reused_solve") or not result.stopped_early:
         entry.solved.add(algorithm)
+    snapshot = None
+    if (
+        job.publish_snapshot
+        and algorithm in entry.solved
+        and algorithm not in entry.published
+        and not entry.from_snapshot
+    ):
+        # Freeze the solved table for the daemon's catalog so the warm-hit
+        # contract survives this worker's death.  Only sessions that solved
+        # locally publish (an attached overlay has nothing new to offer),
+        # and a failed freeze (dict store) just skips the publication.
+        try:
+            snapshot = session.freeze(algorithm)
+            entry.published.add(algorithm)
+        except Exception:  # noqa: BLE001 — snapshots are an optimisation
+            snapshot = None
+    attached = entry.from_snapshot and not entry.attach_reported
+    entry.attach_reported = True
     live = session.live_nodes()
     gc = result.gc_stats() or {}
     return QueryOutcome(
@@ -150,6 +195,8 @@ def _session_outcome(cache: SessionCache, job: QueryJob, started: float) -> Quer
         session_live_nodes=live,
         gc_collections=int(gc.get("collections", 0) or 0),
         worker_pid=os.getpid(),
+        snapshot=snapshot,
+        snapshot_attached=attached,
     )
 
 
@@ -275,6 +322,13 @@ def worker_main(conn, fault_plan=None) -> None:
                     conn.send(("result", job.id, outcome))
                 except (BrokenPipeError, OSError):
                     break
+                if outcome.snapshot is not None:
+                    # The daemon received the handle and owns the segment
+                    # now; drop this process's resource-tracker claim so a
+                    # later worker exit cannot unlink it.  (If the send had
+                    # failed, the claim would stay and the tracker would
+                    # reap the orphaned segment — either way, no leak.)
+                    outcome.snapshot.disown()
     finally:
         cache.close()
         try:
