@@ -23,6 +23,8 @@ Usage::
     python benchmarks/report.py faults-smoke       # CI: worker-kill retry smoke
     python benchmarks/report.py array-kernel-smoke # CI: SoA parity + count win
     python benchmarks/report.py snapshot-smoke     # CI: copy-free attach + fan-out
+    python benchmarks/report.py optimize           # -O0 vs -O2 pre-analysis table
+    python benchmarks/report.py optimize-smoke     # CI: -O2 differential gate
     python benchmarks/report.py all
 """
 
@@ -39,6 +41,7 @@ from repro.baselines import run_bebop, run_concurrent_explicit, run_moped
 from repro.benchgen import (
     DriverSpec,
     TerminatorSpec,
+    driver_suite,
     make_bluetooth,
     make_driver,
     make_terminator,
@@ -703,6 +706,176 @@ def snapshot_smoke(jobs: int = 2) -> None:
     )
 
 
+def _optimize_corpus():
+    """The full benchgen corpus as (name, program, target, expected) rows.
+
+    Sequential programs only — the pre-analysis pipeline rejects concurrent
+    queries, so the Bluetooth configurations stay out.
+    """
+    from repro.benchgen import make_terminator, terminator_suite
+
+    rows = []
+    for positive in (True, False):
+        for case in regression_suite(positive):
+            rows.append((case.name, case.program, case.target, case.expected))
+    for positive in (True, False):
+        for spec in driver_suite(positive):
+            rows.append((spec.name, make_driver(spec), spec.target, positive))
+        for spec in terminator_suite(positive=positive):
+            rows.append((spec.name, make_terminator(spec), spec.target, positive))
+    return rows
+
+
+def optimize_table(sizes: Sequence[int] = (2, 3, 4)) -> None:
+    """Figure 2 driver sweep, raw vs pre-analyzed (``-O0`` vs ``-O2``).
+
+    For every driver configuration the same query runs through the EFopt
+    engine twice — once on the program verbatim, once behind the
+    :mod:`repro.analysis` pipeline at level 2 — and the table reports the
+    declared BDD variable count, the peak live node count and the wall
+    clock of each, plus what the passes removed.  Verdicts are asserted
+    identical per row.
+    """
+    from repro.frontends.getafix import check_reachability
+
+    header = (
+        f"{'benchmark':22s}  {'Reach?':6s}  {'vars O0':>7s}  {'vars O2':>7s}  "
+        f"{'peak O0':>8s}  {'peak O2':>8s}  {'wall O0':>7s}  {'wall O2':>7s}  removed"
+    )
+    print("== Static pre-analysis: Figure 2 drivers, -O0 vs -O2 (EFopt) ==")
+    print(header)
+    print("-" * len(header))
+    total_raw = total_opt = 0.0
+    for positive in (True, False):
+        for handlers in sizes:
+            spec = DriverSpec(
+                name=f"driver-{handlers}-{'pos' if positive else 'neg'}",
+                handlers=handlers,
+                flags=min(4, handlers),
+                helpers=max(1, handlers // 2),
+                positive=positive,
+            )
+            program = make_driver(spec)
+            cells = {}
+            for level in (0, 2):
+                started = time.perf_counter()
+                result = check_reachability(
+                    program, target=spec.target, algorithm="ef-opt", optimize=level
+                )
+                wall = time.perf_counter() - started
+                manager = (result.stats or {}).get("manager", {})
+                cells[level] = (
+                    result.reachable,
+                    manager.get("vars", 0),
+                    manager.get("peak_nodes", 0),
+                    wall,
+                    (result.stats or {}).get("optimize", {}),
+                )
+            assert cells[0][0] == cells[2][0], f"{spec.name}: -O2 changed the verdict"
+            total_raw += cells[0][3]
+            total_opt += cells[2][3]
+            removed = cells[2][4].get("variables_removed", [])
+            dropped = cells[2][4].get("procedures_dropped", [])
+            print(
+                f"{spec.name:22s}  {'Yes' if cells[0][0] else 'No ':6s}  "
+                f"{cells[0][1]:7d}  {cells[2][1]:7d}  "
+                f"{cells[0][2]:8d}  {cells[2][2]:8d}  "
+                f"{cells[0][3]:7.2f}  {cells[2][3]:7.2f}  "
+                f"{len(removed)} vars, {len(dropped)} procs"
+            )
+    print(
+        f"{'total wall':22s}  {'':6s}  {'':7s}  {'':7s}  {'':8s}  {'':8s}  "
+        f"{total_raw:7.2f}  {total_opt:7.2f}"
+    )
+
+
+def optimize_smoke(jobs: int = 2, random_count: int = 200) -> None:
+    """CI differential gate for the static pre-analysis pipeline.
+
+    Four assertions:
+
+    * **Corpus identity** — every sequential benchgen corpus program gets
+      the expected verdict from all three fixed-point algorithms at ``-O0``,
+      ``-O1`` and ``-O2``.
+    * **Fuzz identity** — ``random_count`` random programs agree with the
+      explicit BEBOP replay at every level, for all three algorithms.
+    * **Sharded identity** — the driver corpus re-run through
+      ``run_shards`` at ``--jobs 2`` with ``optimize=2`` matches the
+      ``optimize=0`` verdicts (the grouped-session path slices toward the
+      union of the group's targets).
+    * **Measured reduction** — on the driver corpus the pipeline removes at
+      least ``flags + handlers`` declared variables per program (the dead
+      SLAM artifacts), so the optimization is doing real work, not just
+      passing programs through.
+    """
+    from repro.benchgen import random_program
+    from repro.frontends.getafix import check_reachability
+    from repro.parallel import BatchQuery, run_shards
+
+    algorithms = ("summary", "ef", "ef-opt")
+    corpus = _optimize_corpus()
+    for name, program, target, expected in corpus:
+        for level in (0, 1, 2):
+            for algorithm in algorithms:
+                result = check_reachability(
+                    program, target=target, algorithm=algorithm, optimize=level
+                )
+                assert result.reachable == expected, (
+                    f"{name}: {algorithm} at -O{level} returned "
+                    f"{result.reachable}, expected {expected}"
+                )
+    print(
+        f"optimize smoke: corpus identity ok ({len(corpus)} programs x "
+        f"3 algorithms x 3 levels)"
+    )
+
+    mismatches = 0
+    for seed in range(random_count):
+        program = random_program(seed)
+        locations = resolve_target(program, "main:target")
+        expected = run_bebop(program, locations).reachable
+        for level in (0, 1, 2):
+            for algorithm in algorithms:
+                got = check_reachability(
+                    program, target="main:target", algorithm=algorithm, optimize=level
+                ).reachable
+                if got != expected:
+                    mismatches += 1
+                    print(f"  MISMATCH seed={seed} -O{level} {algorithm}: {got}")
+    assert not mismatches, f"{mismatches} fuzz verdict mismatches"
+    print(f"optimize smoke: fuzz identity ok ({random_count} random programs)")
+
+    driver_rows = [
+        (spec.name, make_driver(spec), spec.target, positive)
+        for positive in (True, False)
+        for spec in driver_suite(positive)
+    ]
+    for level in (0, 2):
+        queries = [
+            BatchQuery(name=name, program=program, target=target, optimize=level)
+            for name, program, target, _ in driver_rows
+        ]
+        shards, _, _ = run_shards(queries, jobs=jobs)
+        assert all(shard.ok for shard in shards), [s.error for s in shards]
+        verdicts = [shard.result.reachable for shard in shards]
+        expected = [row[3] for row in driver_rows]
+        assert verdicts == expected, f"-O{level} sharded verdicts {verdicts} != {expected}"
+    print(f"optimize smoke: sharded identity ok (jobs={jobs}, -O2 vs -O0)")
+
+    from repro.analysis import optimize as run_passes
+
+    for positive in (True, False):
+        for spec in driver_suite(positive):
+            _, report = run_passes(make_driver(spec), level=2)
+            floor = spec.flags + spec.handlers
+            removed = len(report.variables_removed)
+            assert removed >= floor, (
+                f"{spec.name}: only {removed} variables removed "
+                f"(expected >= {floor})"
+            )
+    print("optimize smoke OK: measured variable reduction on the driver corpus")
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -721,6 +894,8 @@ def main(argv: List[str] | None = None) -> int:
             "faults-smoke",
             "array-kernel-smoke",
             "snapshot-smoke",
+            "optimize",
+            "optimize-smoke",
             "all",
         ],
         help="which table to regenerate",
@@ -743,6 +918,12 @@ def main(argv: List[str] | None = None) -> int:
         default="summary",
         choices=["summary", "ef", "ef-opt"],
         help="algorithm for the session table",
+    )
+    parser.add_argument(
+        "--random",
+        type=int,
+        default=200,
+        help="with 'optimize-smoke': number of random fuzz programs",
     )
     args = parser.parse_args(argv)
     if args.what in ("figure2", "all"):
@@ -772,6 +953,12 @@ def main(argv: List[str] | None = None) -> int:
         array_kernel_smoke()
     if args.what == "snapshot-smoke":
         snapshot_smoke(jobs=min(args.jobs, 2))
+    if args.what in ("optimize", "all"):
+        optimize_table()
+        if args.what == "all":
+            print()
+    if args.what == "optimize-smoke":
+        optimize_smoke(jobs=min(args.jobs, 2), random_count=args.random)
     if args.what == "parallel-smoke":
         parallel_smoke()
     if args.what == "session-smoke":

@@ -46,6 +46,7 @@ def run_sequential(
     max_iterations: int = 100_000,
     validate: bool = True,
     limits: Optional[ResourceLimits] = None,
+    optimize: int = 0,
 ) -> ReachabilityResult:
     """Check whether any of ``target_locations`` is reachable in ``program``.
 
@@ -70,6 +71,12 @@ def run_sequential(
         names a cheaper algorithm, in which case the query is retried once
         with it (same limits) and a successful retry records the original
         algorithm in ``ReachabilityResult.degraded_from``.
+    optimize:
+        Static pre-analysis level (:mod:`repro.analysis`).  This entry
+        point takes numeric ``(module, pc)`` targets, whose numbering only
+        the pc-stable passes preserve, so the level is capped at 1; use
+        :func:`repro.frontends.check_reachability` (or a session) with a
+        string target spec for the full level-2 pipeline.
     """
     # Imported lazily: repro.api builds on this module's algorithm registry.
     from ..api.session import AnalysisSession
@@ -93,6 +100,7 @@ def run_sequential(
                 validate=validate,
                 max_iterations=max_iterations,
                 limits=limits,
+                optimize=min(int(optimize), 1),
             )
             try:
                 result = session.check(locations, algorithm=attempt, early_stop=early_stop)

@@ -1,0 +1,33 @@
+"""Static pre-analysis: dataflow passes and linting over Boolean programs.
+
+See :mod:`repro.analysis.passes` for the optimizer (liveness, constants,
+slicing, pruning — composed by :func:`optimize`) and
+:mod:`repro.analysis.lint` for the diagnostics built on the same machinery.
+"""
+
+from .lint import LintFinding, lint_program
+from .passes import (
+    PassReport,
+    eliminate_dead,
+    fold_constants,
+    fold_expr,
+    normalise_slice_targets,
+    optimize,
+    prune_branches,
+    prune_unreachable,
+    slice_to_targets,
+)
+
+__all__ = [
+    "LintFinding",
+    "lint_program",
+    "PassReport",
+    "optimize",
+    "fold_constants",
+    "eliminate_dead",
+    "prune_branches",
+    "slice_to_targets",
+    "prune_unreachable",
+    "fold_expr",
+    "normalise_slice_targets",
+]

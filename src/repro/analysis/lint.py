@@ -1,0 +1,217 @@
+"""Pre-analysis diagnostics: the pass manager doubled as a program linter.
+
+:func:`lint_program` runs the same static machinery the optimizer uses
+(reachability closure, relevance closure, constant folding) in *reporting*
+mode: instead of rewriting the program it emits structured findings —
+unreachable procedures and statements, dead writes, ``assume(F)`` blocks,
+constant branch conditions and always-False reads.  The CLI ``lint``
+subcommand and the daemon's ``lint`` op serialise the findings as JSON and
+map "any findings" to exit code 1 (see :mod:`repro.frontends.cli`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Union
+
+from ..boolprog import parse_program
+from ..boolprog.ast import (
+    Assert,
+    Assign,
+    Assume,
+    CallAssign,
+    If,
+    Lit,
+    Program,
+    Stmt,
+    While,
+)
+from ..boolprog.typecheck import check_program
+from .passes import (
+    _stops_execution,
+    _walk_statements,
+    call_closure,
+    constant_false_keys,
+    fold_expr,
+    relevant_keys,
+)
+
+__all__ = ["LintFinding", "lint_program"]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One diagnostic: a stable code, the procedure it concerns, a message."""
+
+    code: str
+    procedure: str
+    message: str
+    severity: str = "warning"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "procedure": self.procedure,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+def _describe(statement: Stmt) -> str:
+    kind = type(statement).__name__.lower()
+    if statement.label is not None:
+        return f"{kind} (label {statement.label!r})"
+    return kind
+
+
+def lint_program(program: Union[str, Program], name: str = "<input>") -> List[LintFinding]:
+    """Static diagnostics for one program (parsed if given as source)."""
+    if not isinstance(program, Program):
+        program = parse_program(program, name=name)
+    check_program(program)
+    findings: List[LintFinding] = []
+
+    # Unreachable procedures (never transitively called from main).
+    reachable = call_closure(program)
+    for proc_name in program.procedures:
+        if proc_name not in reachable:
+            findings.append(
+                LintFinding(
+                    code="unreachable-procedure",
+                    procedure=proc_name,
+                    message=f"procedure {proc_name!r} is never called from "
+                    f"{program.main!r}",
+                )
+            )
+
+    # Variable-level findings from the optimizer's closures.
+    relevant = relevant_keys(program)
+    const_false = constant_false_keys(program)
+    for global_name in program.globals:
+        if ("", global_name) not in relevant:
+            findings.append(
+                LintFinding(
+                    code="dead-variable",
+                    procedure="",
+                    message=f"global {global_name!r} never influences control "
+                    "flow (writes to it are dead)",
+                )
+            )
+    for proc_name, proc in program.procedures.items():
+        for local in proc.all_locals():
+            if (proc_name, local) not in relevant:
+                findings.append(
+                    LintFinding(
+                        code="dead-variable",
+                        procedure=proc_name,
+                        message=f"variable {local!r} never influences control "
+                        "flow (writes to it are dead)",
+                    )
+                )
+
+    written: Set[str] = set()
+    for proc in program.procedures.values():
+        for statement in _walk_statements(proc.body):
+            if isinstance(statement, Assign):
+                written.update(
+                    t if t in program.globals else f"{proc.name}:{t}"
+                    for t in statement.targets
+                )
+            elif isinstance(statement, CallAssign):
+                written.update(
+                    t if t in program.globals else f"{proc.name}:{t}"
+                    for t in statement.targets
+                )
+
+    # Statement-level findings.
+    for proc_name, proc in program.procedures.items():
+        local_names = set(proc.all_locals())
+        for statement in _walk_statements(proc.body):
+            if isinstance(statement, Assign):
+                for target in statement.targets:
+                    key = (
+                        ("", target)
+                        if target not in local_names
+                        else (proc_name, target)
+                    )
+                    if key not in relevant:
+                        findings.append(
+                            LintFinding(
+                                code="dead-write",
+                                procedure=proc_name,
+                                message=f"assignment to {target!r} is dead "
+                                "(the value never influences control flow)",
+                            )
+                        )
+            if isinstance(statement, Assume):
+                folded = fold_expr(statement.condition)
+                if folded == Lit(False):
+                    findings.append(
+                        LintFinding(
+                            code="assume-false",
+                            procedure=proc_name,
+                            message="assume(F): execution never continues past "
+                            "this statement",
+                        )
+                    )
+            if isinstance(statement, (If, While)):
+                folded = fold_expr(statement.condition)
+                if isinstance(folded, Lit):
+                    findings.append(
+                        LintFinding(
+                            code="constant-condition",
+                            procedure=proc_name,
+                            message=f"{_describe(statement)} condition is "
+                            f"constantly {folded}",
+                        )
+                    )
+            if isinstance(statement, (If, While, Assume, Assert)):
+                for var in sorted(statement.condition.variables()):
+                    key = ("", var) if var not in local_names else (proc_name, var)
+                    written_key = var if var not in local_names else f"{proc_name}:{var}"
+                    if key in const_false and written_key not in written:
+                        findings.append(
+                            LintFinding(
+                                code="always-false-read",
+                                procedure=proc_name,
+                                message=f"{var!r} is read in a condition but "
+                                "never assigned a non-F value (variables "
+                                "initialise to F)",
+                            )
+                        )
+
+        # Unreachable statements after return/goto/assume(F) in a block.
+        findings.extend(_unreachable_code(proc_name, proc.body))
+    seen: Set[LintFinding] = set()
+    unique: List[LintFinding] = []
+    for finding in findings:
+        if finding not in seen:
+            seen.add(finding)
+            unique.append(finding)
+    return unique
+
+
+def _unreachable_code(proc_name: str, statements: List[Stmt]) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    dead = False
+    for statement in statements:
+        if dead and statement.label is None:
+            findings.append(
+                LintFinding(
+                    code="unreachable-code",
+                    procedure=proc_name,
+                    message=f"{_describe(statement)} is unreachable (follows a "
+                    "statement that never falls through)",
+                )
+            )
+            continue
+        if dead and statement.label is not None:
+            dead = False
+        if isinstance(statement, If):
+            findings.extend(_unreachable_code(proc_name, statement.then_branch))
+            findings.extend(_unreachable_code(proc_name, statement.else_branch))
+        elif isinstance(statement, While):
+            findings.extend(_unreachable_code(proc_name, statement.body))
+        if _stops_execution(statement):
+            dead = True
+    return findings

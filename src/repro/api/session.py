@@ -72,6 +72,8 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from ..algorithms.engine import SEQUENTIAL_ALGORITHMS
 from ..algorithms.result import ReachabilityResult
+from ..analysis.passes import PassReport, normalise_slice_targets
+from ..analysis.passes import optimize as optimize_program
 from ..bdd import BddError, BddManager
 from ..bdd import snapshot as bdd_snapshot
 from ..bdd._array import ArrayBddManager
@@ -120,6 +122,8 @@ class SessionSpec:
     validate: bool = True
     max_iterations: int = 100_000
     limits: Optional[ResourceLimits] = None
+    optimize: int = 0
+    slice_targets: Optional[Tuple[str, ...]] = None
 
     def open(self) -> "AnalysisSession":
         """Build the session this spec describes (in the calling process)."""
@@ -129,6 +133,8 @@ class SessionSpec:
             validate=self.validate,
             max_iterations=self.max_iterations,
             limits=self.limits,
+            optimize=self.optimize,
+            slice_targets=self.slice_targets,
         )
 
     def is_picklable(self) -> bool:
@@ -316,6 +322,23 @@ class AnalysisSession:
         :class:`~repro.errors.ResourceExhausted` subclass and leaves the
         session usable: compiled artifacts and retained interpretations
         survive, and later queries (or :meth:`set_limits`) proceed normally.
+    optimize:
+        Static pre-analysis level (0, 1 or 2; see
+        :func:`repro.analysis.optimize`).  The pass pipeline runs ONCE, at
+        construction, and every compiled artifact — CFG, encoder, template
+        BDDs, retained fixed points, frozen snapshots — is built from the
+        optimized program.  Level 2 renumbers program counters, so numeric
+        ``(module, pc)`` targets are rejected once the report records
+        structural changes; string specs (``"error"``, ``"proc:label"``)
+        resolve against the optimized CFG and stay exact.  A pipeline crash
+        degrades gracefully: the session falls back to the raw program and
+        records the failure in ``optimize_report.failed``.
+    slice_targets:
+        String target specs the level-2 slicer may specialise the program
+        towards.  A sliced session only answers queries whose specs are a
+        subset of ``slice_targets`` (slicing discards behaviour irrelevant
+        to those targets, so other queries would be unsound).  Ignored
+        below level 2.
 
     Sessions are context managers; leaving the ``with`` block closes them.
     """
@@ -328,6 +351,8 @@ class AnalysisSession:
         validate: bool = True,
         max_iterations: int = 100_000,
         limits: Optional[ResourceLimits] = None,
+        optimize: int = 0,
+        slice_targets: Optional[Sequence[str]] = None,
     ) -> None:
         if default_algorithm not in SEQUENTIAL_ALGORITHMS:
             raise ValueError(
@@ -345,6 +370,32 @@ class AnalysisSession:
         if validate:
             check_program(self.program)
             self.validations = 1
+        #: The program as given (pre-optimization); ``self.program`` is what
+        #: the compiled artifacts are actually built from.
+        self.source_program = self.program
+        if slice_targets is not None:
+            normalised = normalise_slice_targets(tuple(slice_targets))
+            if normalised is None:
+                raise ValueError(
+                    "slice_targets must be string target specs "
+                    "('error' or 'procedure:label'), got "
+                    f"{slice_targets!r}"
+                )
+            slice_targets = normalised
+        self.slice_targets: Optional[Tuple[str, ...]] = slice_targets
+        self.optimize_level = int(optimize)
+        self.optimize_report: Optional[PassReport] = None
+        if self.optimize_level:
+            try:
+                self.program, self.optimize_report = optimize_program(
+                    self.program,
+                    targets=self.slice_targets,
+                    level=self.optimize_level,
+                )
+            except Exception as exc:  # degrade, never lose the query
+                self.program = self.source_program
+                self.optimize_report = PassReport(level=self.optimize_level)
+                self.optimize_report.failed = repr(exc)
         self.cfg = build_cfg(self.program)
         self.encoder = SequentialEncoder(self.cfg)
         self._states: Dict[str, _AlgorithmState] = {}
@@ -397,7 +448,37 @@ class AnalysisSession:
     # -- queries ---------------------------------------------------------
     def resolve(self, target: TargetSpec) -> List[Tuple[int, int]]:
         """Resolve a friendly target spec against this session's CFG."""
+        self._guard_target(target)
         return resolve_target_locations(self.cfg, target)
+
+    def _guard_target(self, target: TargetSpec) -> None:
+        """Reject queries the optimized program cannot soundly answer.
+
+        Numeric ``(module, pc)`` specs name locations of the *raw*
+        program's numbering; once a structural pass renumbered pcs they are
+        meaningless, so only string specs (resolved against the optimized
+        CFG) are accepted.  A sliced program additionally only preserves
+        reachability of the targets it was sliced for.
+        """
+        report = self.optimize_report
+        if report is None or report.failed is not None:
+            return
+        specs = normalise_slice_targets(target)
+        if specs is None:
+            if not report.pc_stable:
+                raise ValueError(
+                    "numeric (module, pc) targets are not valid against a "
+                    f"structurally optimized program (level {report.level}, "
+                    f"{report.structural_changes} structural changes); use "
+                    "string specs ('error' or 'procedure:label'), or open "
+                    "the session with optimize<=1"
+                )
+            return
+        if report.sliced_for is not None and not set(specs) <= set(report.sliced_for):
+            raise ValueError(
+                f"this session was sliced for targets {sorted(report.sliced_for)}; "
+                f"it cannot soundly answer {sorted(specs)}"
+            )
 
     @staticmethod
     def _signature(locations: Sequence[Tuple[int, int]]) -> TargetSignature:
@@ -651,6 +732,11 @@ class AnalysisSession:
         state = self._state(algorithm)
         if state.solved is None:
             raise RuntimeError("freeze() requires a solved session; call solve() first")
+        if self.optimize_report is not None and self.optimize_report.sliced_for:
+            # The snapshot handle carries no slice pedigree; an attaching
+            # session would answer arbitrary targets against a program that
+            # only preserves the sliced ones.
+            raise RuntimeError("freeze() is not supported for sliced sessions")
         manager = state.backend.manager
         if not isinstance(manager, ArrayBddManager):
             raise BddError(
@@ -739,6 +825,11 @@ class AnalysisSession:
         """Session-level reuse counters, per compiled algorithm."""
         return {
             "validations": self.validations,
+            "optimize": (
+                self.optimize_report.to_dict()
+                if self.optimize_report is not None
+                else None
+            ),
             "algorithms": {
                 name: {
                     "solves": state.solve_count,
@@ -852,6 +943,9 @@ class AnalysisSession:
         if summary_nodes is None:
             summary_nodes = manager.node_count(summary_node)
             summary_states = self._count_states(state, summary_node)
+        stats = state.backend.stats_snapshot()
+        if self.optimize_report is not None:
+            stats["optimize"] = self.optimize_report.to_dict()
         return ReachabilityResult(
             reachable=reachable,
             algorithm=f"getafix-{state.spec.name}",
@@ -872,5 +966,5 @@ class AnalysisSession:
                 "warm_start": warm_start,
                 "target_signature": list(self._signature(locations)),
             },
-            stats=state.backend.stats_snapshot(),
+            stats=stats,
         )

@@ -75,6 +75,7 @@ class ArrayBddManager(BddManager):
         gc_growth: float = 2.0,
         cache_limit: Optional[int] = None,
         store: Optional[str] = None,
+        debug_checks: Optional[bool] = None,
     ) -> None:
         # Interned cubes and rename/restrict maps get per-manager integer
         # uids so they pack into integer cache keys; the counter must exist
@@ -88,6 +89,7 @@ class ArrayBddManager(BddManager):
             gc_growth=gc_growth,
             cache_limit=cache_limit,
             store="array",
+            debug_checks=debug_checks,
         )
         # Re-home the node vectors as flat int64 arrays (only the terminal
         # exists at this point).  All inherited read paths index them
@@ -790,6 +792,8 @@ class ArrayBddManager(BddManager):
         self._gc_collections += 1
         if not reclaimed:
             del level_v, lo_v, hi_v
+            if self._debug_checks:
+                self._debug_validate()
             return 0
         # Unique-table update: delete the dead keys one by one when few are
         # dead, rebuild the whole table from the live slots (one vectorised
@@ -836,6 +840,8 @@ class ArrayBddManager(BddManager):
         self._drop_op_caches()
         for hook in self._gc_hooks:
             hook()
+        if self._debug_checks:
+            self._debug_validate()
         return reclaimed
 
     def _collect_garbage_scalar(self, roots: Iterable[int] = ()) -> int:
@@ -878,6 +884,8 @@ class ArrayBddManager(BddManager):
             self._drop_op_caches()
             for hook in self._gc_hooks:
                 hook()
+        if self._debug_checks:
+            self._debug_validate()
         return reclaimed
 
     def _trim_tail_scalar(self) -> None:
@@ -894,6 +902,52 @@ class ArrayBddManager(BddManager):
         del self._lo[keep:]
         del self._hi[keep:]
         self._free = sorted((i for i in self._free if i < keep), reverse=True)
+
+    # ------------------------------------------------------------------
+    # Kernel sanitizer (packed-key decoders)
+    # ------------------------------------------------------------------
+    def _unique_key(self, index: int) -> int:
+        return (
+            (self._level[index] << LEVEL_SHIFT)
+            | (self._lo[index] << EDGE_BITS)
+            | self._hi[index]
+        )
+
+    def _debug_cache_edges(self):
+        """Decode the packed cache keys back into their signed edges.
+
+        The encodings mirror the cache writers exactly: ``and``/``xor`` pack
+        ``(f << 24) | g``, ``ite`` packs the operand triple, the quantifier
+        and rename/restrict caches pack the interned object's uid above the
+        edge field.
+        """
+        mask = (1 << EDGE_BITS) - 1
+        for key, result in self._and_cache.items():
+            yield "and", key >> EDGE_BITS
+            yield "and", key & mask
+            yield "and", result
+        for key, result in self._xor_cache.items():
+            yield "xor", key >> EDGE_BITS
+            yield "xor", key & mask
+            yield "xor", result
+        for key, result in self._ite_cache.items():
+            yield "ite", key >> (2 * EDGE_BITS)
+            yield "ite", (key >> EDGE_BITS) & mask
+            yield "ite", key & mask
+            yield "ite", result
+        for key, result in self._exists_cache.items():
+            yield "exists", key & mask
+            yield "exists", result
+        for key, result in self._and_exists_cache.items():
+            yield "and_exists", (key >> EDGE_BITS) & mask
+            yield "and_exists", key & mask
+            yield "and_exists", result
+        for key, result in self._rename_cache.items():
+            yield "rename", key & mask
+            yield "rename", result
+        for key, result in self._restrict_cache.items():
+            yield "restrict", key & mask
+            yield "restrict", result
 
     # ------------------------------------------------------------------
     # Vectorised model counting

@@ -162,6 +162,17 @@ class BddManager:
         environment variable before defaulting to ``"array"``.  Both layouts
         are behaviourally identical behind the signed-edge API (the
         differential suite is parametrised over both).
+    debug_checks:
+        Kernel sanitizer.  When True, :meth:`_debug_validate` runs at every
+        GC safe point (each :meth:`maybe_collect` call and the end of each
+        :meth:`collect_garbage` sweep) and cross-checks the node-store
+        invariants — live counter vs non-free slots, unique table vs node
+        vectors, free-list purity, operation-cache edge liveness, external
+        reference validity — raising :class:`BddError` on the first
+        violation.  ``None`` (the default) consults the
+        ``REPRO_DEBUG_CHECKS`` environment variable.  Validation is
+        O(nodes + cache entries) per safe point: a debugging tool, not a
+        production mode.
     """
 
     FALSE = 0
@@ -197,11 +208,15 @@ class BddManager:
         gc_growth: float = 2.0,
         cache_limit: Optional[int] = None,
         store: Optional[str] = None,
+        debug_checks: Optional[bool] = None,
     ) -> None:
         # ``store`` is consumed by :meth:`__new__` (layout dispatch); it is
         # accepted here so both layouts share one constructor signature.
         if store is not None and store not in ("array", "dict"):
             raise BddError(f"unknown node store {store!r} (use 'array' or 'dict')")
+        if debug_checks is None:
+            debug_checks = os.environ.get("REPRO_DEBUG_CHECKS", "") not in ("", "0")
+        self._debug_checks = bool(debug_checks)
         # Parallel node arrays.  Index 0 is the sole terminal; a signed edge
         # is (index << 1) | complement, so FALSE = 0 and TRUE = 1.
         self._level: List[int] = [self._TERMINAL_LEVEL]
@@ -1519,6 +1534,8 @@ class BddManager:
             self._drop_op_caches()
             for hook in self._gc_hooks:
                 hook()
+        if self._debug_checks:
+            self._debug_validate()
         return reclaimed
 
     def maybe_collect(self, roots: Iterable[int] = ()) -> bool:
@@ -1551,6 +1568,10 @@ class BddManager:
             return True
         if self._cache_limit is not None and self._cache_entries() > self._cache_limit:
             self._drop_op_caches()
+        if self._debug_checks:
+            # No collection ran, but the caller still promised a safe point
+            # (every live edge enumerable): the invariants must hold here.
+            self._debug_validate()
         return False
 
     def _cache_entries(self) -> int:
@@ -1572,6 +1593,147 @@ class BddManager:
         self._and_exists_cache.clear()
         self._rename_cache.clear()
         self._restrict_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Kernel sanitizer (debug_checks)
+    # ------------------------------------------------------------------
+    def _unique_key(self, index: int):
+        """The unique-table key the node at ``index`` must be filed under."""
+        return (self._level[index], self._lo[index], self._hi[index])
+
+    def _debug_cache_edges(self) -> Iterator[Tuple[str, int]]:
+        """Yield every signed edge mentioned by an operation-cache entry.
+
+        The array store overrides this with its packed-key decoders; the
+        sanitizer only needs the edges, not the full keys.
+        """
+        for (f, g), result in self._and_cache.items():
+            yield "and", f
+            yield "and", g
+            yield "and", result
+        for (f, g), result in self._xor_cache.items():
+            yield "xor", f
+            yield "xor", g
+            yield "xor", result
+        for (f, g, h), result in self._ite_cache.items():
+            yield "ite", f
+            yield "ite", g
+            yield "ite", h
+            yield "ite", result
+        for (f, _cube), result in self._exists_cache.items():
+            yield "exists", f
+            yield "exists", result
+        for (f, g, _cube), result in self._and_exists_cache.items():
+            yield "and_exists", f
+            yield "and_exists", g
+            yield "and_exists", result
+        for (f, _rmap), result in self._rename_cache.items():
+            yield "rename", f
+            yield "rename", result
+        for (f, _fmap), result in self._restrict_cache.items():
+            yield "restrict", f
+            yield "restrict", result
+
+    def _debug_validate(self) -> None:
+        """Cross-check every node-store invariant; raise :class:`BddError`.
+
+        Run at GC safe points when the manager was constructed with
+        ``debug_checks=True`` (or ``REPRO_DEBUG_CHECKS=1``).  Checks, in
+        order: node-vector shape, free-list purity (free-marked slots and
+        the free list are the same set, free slots carry no children),
+        the live counter against the non-free slot count, unique-table
+        completeness and key/slot agreement, per-node structural invariants
+        (regular then-edge, reduction, level order, live children),
+        external-reference validity, and operation-cache edge liveness.
+        """
+        level = self._level
+        lo = self._lo
+        hi = self._hi
+        capacity = len(level)
+        if not (len(lo) == capacity and len(hi) == capacity):
+            raise BddError(
+                "sanitizer: node vectors disagree on capacity "
+                f"(level={capacity}, lo={len(lo)}, hi={len(hi)})"
+            )
+        if level[0] != self._TERMINAL_LEVEL or lo[0] or hi[0]:
+            raise BddError("sanitizer: terminal slot 0 was overwritten")
+        free_level = self._FREE_LEVEL
+        free_slots = set()
+        for index in range(1, capacity):
+            if level[index] == free_level:
+                if lo[index] or hi[index]:
+                    raise BddError(
+                        f"sanitizer: free slot {index} has dangling children"
+                    )
+                free_slots.add(index)
+        if len(self._free) != len(set(self._free)):
+            raise BddError("sanitizer: duplicate slots on the free list")
+        if set(self._free) != free_slots:
+            raise BddError(
+                "sanitizer: free list does not match the free-marked slots "
+                f"(listed={len(self._free)}, marked={len(free_slots)})"
+            )
+        live = capacity - len(free_slots)
+        if live != self._live:
+            raise BddError(
+                f"sanitizer: live counter {self._live} != {live} non-free slots"
+            )
+        if len(self._unique) != live - 1:
+            raise BddError(
+                f"sanitizer: unique table holds {len(self._unique)} entries "
+                f"for {live - 1} live decision nodes"
+            )
+        for key, index in self._unique.items():
+            if not 0 < index < capacity or level[index] == free_level:
+                raise BddError(
+                    f"sanitizer: unique table maps {key!r} to dead slot {index}"
+                )
+            if key != self._unique_key(index):
+                raise BddError(
+                    f"sanitizer: unique key {key!r} does not match node {index}"
+                )
+        num_levels = len(self._var_names)
+        for index in range(1, capacity):
+            node_level = level[index]
+            if node_level == free_level:
+                continue
+            if not 0 <= node_level < num_levels:
+                raise BddError(
+                    f"sanitizer: node {index} has out-of-range level {node_level}"
+                )
+            if hi[index] & 1:
+                raise BddError(
+                    f"sanitizer: node {index} stores a complemented then-edge"
+                )
+            if lo[index] == hi[index]:
+                raise BddError(f"sanitizer: node {index} is unreduced (lo == hi)")
+            for child in (lo[index], hi[index]):
+                child_index = child >> 1
+                if not 0 <= child_index < capacity or level[child_index] == free_level:
+                    raise BddError(
+                        f"sanitizer: node {index} points at dead child edge {child}"
+                    )
+                if child_index and level[child_index] <= node_level:
+                    raise BddError(
+                        f"sanitizer: node {index} (level {node_level}) violates "
+                        f"the level order via child {child_index}"
+                    )
+        for index, count in self._extref.items():
+            if count <= 0:
+                raise BddError(
+                    f"sanitizer: non-positive external refcount {count} on "
+                    f"node {index}"
+                )
+            if not 0 < index < capacity or level[index] == free_level:
+                raise BddError(
+                    f"sanitizer: external reference to dead slot {index}"
+                )
+        for op, edge in self._debug_cache_edges():
+            index = edge >> 1
+            if not 0 <= index < capacity or level[index] == free_level:
+                raise BddError(
+                    f"sanitizer: {op} cache mentions dead edge {edge}"
+                )
 
     # ------------------------------------------------------------------
     # Maintenance / statistics
@@ -1650,6 +1812,7 @@ class BddManager:
                 "node_budget": self._node_budget,
                 "deadline_armed": self._deadline is not None,
             },
+            "debug_checks": self._debug_checks,
         }
 
     def to_expr(self, f: int) -> str:

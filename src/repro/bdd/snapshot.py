@@ -430,6 +430,8 @@ class SnapshotOverlayManager(ArrayBddManager):
             self._drop_op_caches()
             for hook in self._gc_hooks:
                 hook()
+        if self._debug_checks:
+            self._debug_validate()
         return reclaimed
 
     def _trim_tail_scalar(self) -> None:
@@ -446,6 +448,108 @@ class SnapshotOverlayManager(ArrayBddManager):
         del self._hi.tail[keep:]
         boundary = self._base_len + keep
         self._free = sorted((i for i in self._free if i < boundary), reverse=True)
+
+    # -- kernel sanitizer (overlay-aware) --------------------------------
+    def _debug_validate(self) -> None:
+        """Overlay variant of the sanitizer (see ``BddManager._debug_validate``).
+
+        Frozen base slots are immutable and were validated by their freezer,
+        so the checks cover what this process can corrupt: the private tail
+        (structure, level order, liveness), the local unique cache — whose
+        entries may legitimately point at *either* half — the free list, the
+        external references and the operation caches.
+        """
+        level = self._level
+        lo = self._lo
+        hi = self._hi
+        base_len = self._base_len
+        capacity = len(level)
+        free_level = self._FREE_LEVEL
+        free_slots = set()
+        for index in range(base_len, capacity):
+            if level[index] == free_level:
+                if lo[index] or hi[index]:
+                    raise BddError(
+                        f"sanitizer: free tail slot {index} has dangling children"
+                    )
+                free_slots.add(index)
+        if len(self._free) != len(set(self._free)):
+            raise BddError("sanitizer: duplicate slots on the overlay free list")
+        if set(self._free) != free_slots:
+            raise BddError(
+                "sanitizer: overlay free list does not match the free-marked "
+                f"tail slots (listed={len(self._free)}, marked={len(free_slots)})"
+            )
+        # The overlay counts only terminal + tail nodes (attached bases are
+        # priced as free by the session pool).
+        live = 1 + (capacity - base_len) - len(free_slots)
+        if live != self._live:
+            raise BddError(
+                f"sanitizer: overlay live counter {self._live} != {live} "
+                "(terminal + non-free tail slots)"
+            )
+        for key, index in self._unique.items():
+            if not 0 < index < capacity or level[index] == free_level:
+                raise BddError(
+                    f"sanitizer: overlay unique cache maps {key!r} to dead "
+                    f"slot {index}"
+                )
+            if key != self._unique_key(index):
+                raise BddError(
+                    f"sanitizer: overlay unique key {key!r} does not match "
+                    f"node {index}"
+                )
+        num_levels = len(self._var_names)
+        unique = self._unique
+        for index in range(base_len, capacity):
+            node_level = level[index]
+            if node_level == free_level:
+                continue
+            if not 0 <= node_level < num_levels:
+                raise BddError(
+                    f"sanitizer: tail node {index} has out-of-range level "
+                    f"{node_level}"
+                )
+            if hi[index] & 1:
+                raise BddError(
+                    f"sanitizer: tail node {index} stores a complemented "
+                    "then-edge"
+                )
+            if lo[index] == hi[index]:
+                raise BddError(
+                    f"sanitizer: tail node {index} is unreduced (lo == hi)"
+                )
+            if unique.get(self._unique_key(index)) != index:
+                raise BddError(
+                    f"sanitizer: tail node {index} missing from the overlay "
+                    "unique cache"
+                )
+            for child in (lo[index], hi[index]):
+                child_index = child >> 1
+                if not 0 <= child_index < capacity or level[child_index] == free_level:
+                    raise BddError(
+                        f"sanitizer: tail node {index} points at dead child "
+                        f"edge {child}"
+                    )
+                if child_index and level[child_index] <= node_level:
+                    raise BddError(
+                        f"sanitizer: tail node {index} (level {node_level}) "
+                        f"violates the level order via child {child_index}"
+                    )
+        for index, count in self._extref.items():
+            if count <= 0:
+                raise BddError(
+                    f"sanitizer: non-positive external refcount {count} on "
+                    f"node {index}"
+                )
+            if not 0 < index < capacity or level[index] == free_level:
+                raise BddError(
+                    f"sanitizer: external reference to dead slot {index}"
+                )
+        for op, edge in self._debug_cache_edges():
+            index = edge >> 1
+            if not 0 <= index < capacity or level[index] == free_level:
+                raise BddError(f"sanitizer: {op} cache mentions dead edge {edge}")
 
     # -- vectorised counting over the frozen image -----------------------
     def count_sat(self, f: int, variables: Optional[Iterable[int | str]] = None) -> int:

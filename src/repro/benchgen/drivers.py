@@ -14,7 +14,11 @@ redistributable, so this generator produces programs with the same shape:
 * a completion routine protected by ``assert`` statements encoding the lock
   discipline; the *positive* variant plants exactly one handler that forgets
   to release the lock before completing, the *negative* variant keeps the
-  discipline everywhere.
+  discipline everywhere,
+* the abstraction artifacts SLAM leaves behind: per-flag ``irql`` status
+  globals and per-handler trace locals that are written but never branched
+  on (dead predicates), and an uncalled ``diagnostics`` routine — the
+  material :mod:`repro.analysis` measurably strips before encoding.
 
 Sizes (number of handlers, helper depth, flag count) are parameters, so the
 benchmark harness can sweep program size the way Figure 2 aggregates suites of
@@ -68,8 +72,10 @@ def _handler(index: int, spec: DriverSpec, buggy: bool) -> str:
     release = "" if buggy else "call release_lock();"
     return f"""
     handler{index}(arg) begin
-      decl ok, status;
+      decl ok, status, trace;
+      trace := arg;
       call acquire_lock();
+      irql{flag} := T;
       status := arg ^ flag{flag};
       ok := helper{helper}(status);
       if (ok) then
@@ -77,6 +83,8 @@ def _handler(index: int, spec: DriverSpec, buggy: bool) -> str:
       else
         flag{flag} := F;
       fi
+      trace := !trace;
+      irql{flag} := F;
       {release}
       call complete_request();
     end
@@ -86,6 +94,7 @@ def _handler(index: int, spec: DriverSpec, buggy: bool) -> str:
 def make_driver(spec: DriverSpec) -> Program:
     """Generate one driver-shaped Boolean program."""
     flags = " ".join(f"decl flag{i};" for i in range(spec.flags))
+    irqls = " ".join(f"decl irql{i};" for i in range(spec.flags))
     helpers = "\n".join(_helper(i, spec.flags) for i in range(spec.helpers))
     buggy_handler = spec.handlers - 1 if spec.positive else -1
     handlers = "\n".join(
@@ -99,6 +108,7 @@ def make_driver(spec: DriverSpec) -> Program:
     source = f"""
     decl lock;
     {flags}
+    {irqls}
 
     main() begin
       decl {choices};
@@ -125,6 +135,15 @@ def make_driver(spec: DriverSpec) -> Program:
       // request is completed.
       assert(!lock);
       lock := F;
+    end
+
+    diagnostics(v) begin
+      // Dead SLAM artifact: never called by any dispatch path.
+      decl snap;
+      snap := v ^ lock;
+      if (snap) then
+        snap := !snap;
+      fi
     end
 
     {helpers}

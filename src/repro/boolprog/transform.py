@@ -118,12 +118,22 @@ def rename_procedure(
     variables: Dict[str, str],
     calls: Dict[str, str],
 ) -> Procedure:
-    """Return a renamed copy of a procedure (locals keep their names)."""
+    """Return a renamed copy of a procedure (locals keep their names).
+
+    A parameter or declared local that *shadows* a name in ``variables``
+    binds every occurrence in the body to the local, so the map entry must
+    not apply inside this procedure — renaming only the uses (but not the
+    declaration) would silently rebind them to the outer variable.
+    """
+    shadowed = set(procedure.all_locals())
+    scoped = {
+        old: new for old, new in variables.items() if old not in shadowed
+    }
     return Procedure(
         name=new_name,
         params=list(procedure.params),
         locals=list(procedure.locals),
-        body=[rename_in_stmt(statement, variables, calls) for statement in procedure.body],
+        body=[rename_in_stmt(statement, scoped, calls) for statement in procedure.body],
         num_returns=procedure.num_returns,
     )
 

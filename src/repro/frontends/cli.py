@@ -20,6 +20,12 @@ answer every target as a post-pass; see :mod:`repro.api`), so
 ``getafix prog.bp --target a --target b --target c`` compiles ``prog.bp``
 exactly once; the ``reuse`` column / ``reused_solve`` JSON field records
 which queries rode the shared solve.
+
+``getafix lint <file>...`` (the ``lint`` subcommand) runs the static
+pre-analysis in reporting mode instead of checking reachability: structured
+JSON diagnostics on stdout, exit 0 when clean, 1 with findings, 2 on errors
+(see :mod:`repro.analysis.lint`).  ``-O/--optimize {0,1,2}`` runs the same
+machinery in rewriting mode before encoding (see :mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -41,7 +47,7 @@ from .getafix import (
     resolve_target,
 )
 
-__all__ = ["main", "build_arg_parser"]
+__all__ = ["main", "build_arg_parser", "run_lint"]
 
 #: Exit statuses (grep convention).
 EXIT_UNREACHABLE = 0
@@ -97,6 +103,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--no-early-stop",
         action="store_true",
         help="disable early termination when the target is found reachable",
+    )
+    parser.add_argument(
+        "-O",
+        "--optimize",
+        type=int,
+        default=0,
+        choices=[0, 1, 2],
+        metavar="LEVEL",
+        help="static pre-analysis before encoding: 1 = liveness/constants "
+        "(pc-stable), 2 = plus branch pruning, target-directed slicing and "
+        "unreachable-procedure removal (default: 0; not valid with "
+        "--concurrent)",
     )
     parser.add_argument(
         "--jobs",
@@ -188,6 +206,11 @@ def _validate_flags(args: argparse.Namespace) -> Optional[str]:
         return f"--retries must be >= 0, got {args.retries}"
     if args.context_switches < 0:
         return f"--context-switches must be >= 0, got {args.context_switches}"
+    if args.concurrent and args.optimize:
+        return (
+            "--optimize applies to sequential programs only; the concurrent "
+            "engine has no pre-analysis pipeline"
+        )
     return None
 
 
@@ -244,6 +267,7 @@ def _prepare_queries(args: argparse.Namespace, sources: List[str]) -> Optional[L
 def _run_single(
     args: argparse.Namespace,
     program: object,
+    target: str,
     locations: List[tuple],
     limits: Optional[ResourceLimits],
 ) -> int:
@@ -276,12 +300,17 @@ def _run_single(
                     limits=limits,
                 )
             else:
+                # When optimizing, hand the friendly spec through so the
+                # level-2 pipeline may slice towards it and resolve it
+                # against the *optimized* CFG; the pre-resolved numeric
+                # locations would pin the raw numbering (capping at -O1).
                 result = check_reachability(
                     program,
-                    target=locations,
+                    target=target if args.optimize else locations,
                     algorithm=args.algorithm,
                     early_stop=not args.no_early_stop,
                     limits=limits,
+                    optimize=args.optimize,
                 )
             break
         except ResourceExhausted as exc:
@@ -340,11 +369,14 @@ def _run_batch(
                 BatchQuery(
                     name=name,
                     program=program,
-                    target=locations,
+                    # Friendly specs when optimizing (workers re-resolve
+                    # against the optimized CFG); raw locations otherwise.
+                    target=target if args.optimize else locations,
                     algorithm=args.algorithm,
                     concurrent=args.concurrent,
                     context_switches=args.context_switches,
                     early_stop=not args.no_early_stop,
+                    optimize=args.optimize,
                 )
             )
     report = run_batch(
@@ -387,8 +419,64 @@ def _run_batch(
     return EXIT_REACHABLE if report.any_reachable else EXIT_UNREACHABLE
 
 
+def run_lint(argv: List[str]) -> int:
+    """``getafix lint <file>...`` — static diagnostics as JSON.
+
+    Always emits JSON (one record per file: ``file``, ``clean``,
+    ``findings``) so the output is scriptable without a flag.  Exit status:
+    0 when every file is clean, 1 when any file has findings, 2 on usage,
+    I/O, parse or static-semantics errors — deliberately the same shape as
+    the checker's reachable/unreachable/error convention.
+    """
+    parser = argparse.ArgumentParser(
+        prog="getafix lint",
+        description=(
+            "Static pre-analysis diagnostics for Boolean programs: "
+            "unreachable procedures and statements, dead variables and "
+            "writes, assume(F), constant and always-false conditions."
+        ),
+    )
+    parser.add_argument(
+        "files",
+        type=Path,
+        nargs="+",
+        metavar="file",
+        help="Boolean program source file(s) to lint",
+    )
+    args = parser.parse_args(argv)
+    from ..analysis import lint_program
+
+    records = []
+    any_findings = False
+    for path in args.files:
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            print(f"getafix: cannot read input: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        try:
+            findings = lint_program(source, name=str(path))
+        except BoolProgError as exc:
+            print(f"getafix: {path}: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        any_findings = any_findings or bool(findings)
+        records.append(
+            {
+                "file": str(path),
+                "clean": not findings,
+                "findings": [finding.to_dict() for finding in findings],
+            }
+        )
+    print(json.dumps(records, indent=2))
+    return EXIT_REACHABLE if any_findings else EXIT_UNREACHABLE
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``getafix`` command; returns the exit status."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return run_lint(argv[1:])
     parser = build_arg_parser()
     args = parser.parse_args(argv)
     if not args.targets:
@@ -415,7 +503,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if len(prepared) == 1 and len(args.targets) == 1 and args.jobs == 1:
             path, program, resolved = prepared[0]
-            return _run_single(args, program, resolved[args.targets[0]], limits)
+            target = args.targets[0]
+            return _run_single(args, program, target, resolved[target], limits)
         return _run_batch(args, prepared, limits)
     except BoolProgError as exc:
         # Static-semantics errors surface when the engine validates the

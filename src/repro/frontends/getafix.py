@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from ..algorithms import ReachabilityResult, run_concurrent, run_sequential
 from ..algorithms.engine import SEQUENTIAL_ALGORITHMS
+from ..analysis.passes import normalise_slice_targets
 from ..limits import ResourceLimits
 from ..boolprog import (
     ConcurrentProgram,
@@ -115,6 +116,7 @@ def check_reachability(
     algorithm: str = "ef-opt",
     early_stop: bool = True,
     limits: Optional[ResourceLimits] = None,
+    optimize: int = 0,
 ) -> ReachabilityResult:
     """Answer "is the target statement reachable?" for a sequential program.
 
@@ -122,13 +124,37 @@ def check_reachability(
     fixed-point formulations of Section 4, in increasing order of efficiency).
     ``limits`` is an optional :class:`~repro.limits.ResourceLimits` envelope;
     see :func:`repro.algorithms.run_sequential` for its exhaustion and
-    degradation semantics.
+    degradation semantics.  ``optimize`` runs the static pre-analysis
+    pipeline (:mod:`repro.analysis`) before encoding: level 1 is pc-stable,
+    level 2 additionally prunes/slices — with a string target spec the
+    query is routed through a session that resolves the spec against the
+    *optimized* CFG (and slices towards it); an explicit ``(module, pc)``
+    list pins the raw numbering, capping the level at 1.
     """
     if algorithm not in SEQUENTIAL_ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose one of {sorted(SEQUENTIAL_ALGORITHMS)}"
         )
     parsed = _as_program(program)
+    optimize = int(optimize)
+    if optimize > 0:
+        # Imported lazily: repro.api builds on this front end's resolvers.
+        from ..api.session import AnalysisSession
+
+        specs = normalise_slice_targets(target)
+        if specs is None:
+            optimize = min(optimize, 1)
+        session = AnalysisSession(
+            parsed,
+            default_algorithm=algorithm,
+            limits=limits,
+            optimize=optimize,
+            slice_targets=specs if optimize >= 2 else None,
+        )
+        try:
+            return session.check(target, algorithm=algorithm, early_stop=early_stop)
+        finally:
+            session.close()
     locations = resolve_target(parsed, target)
     return run_sequential(
         parsed, locations, algorithm=algorithm, early_stop=early_stop, limits=limits

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..algorithms.result import ReachabilityResult
+from ..analysis.passes import normalise_slice_targets
 from ..errors import AnalysisTimeout, ResourceExhausted
 from ..limits import DEGRADATION_LADDER, ResourceLimits
 from ..testing import faults
@@ -96,6 +97,13 @@ class BatchQuery:
         the worker (deadline, node budget, iteration budget, degradation
         ladder).  Part of the session-sharing group key: queries under
         different envelopes never share a session.
+    optimize:
+        Static pre-analysis level (0–2, :mod:`repro.analysis`) applied in
+        the worker before encoding.  Part of the group key — sessions at
+        different levels compile different programs.  A group slices
+        (level 2) towards the union of its string target specs; any
+        numeric ``(module, pc)`` target in the group caps the level at 1.
+        Ignored for concurrent queries.
     """
 
     name: str
@@ -107,6 +115,7 @@ class BatchQuery:
     early_stop: bool = True
     expected: Optional[bool] = None
     limits: Optional[ResourceLimits] = None
+    optimize: int = 0
 
 
 @dataclass
@@ -207,6 +216,29 @@ def _failure_shard(query: BatchQuery, exc: BaseException, elapsed: float) -> Sha
     )
 
 
+def _group_optimize(
+    queries: Sequence[BatchQuery],
+) -> Tuple[int, Optional[Tuple[str, ...]]]:
+    """The (level, slice_targets) a shared session for this group may use.
+
+    Level 2 slices towards the union of the group's string target specs —
+    every query of the group is then inside the sliced set, so the shared
+    session's slice guard admits all of them.  A numeric ``(module, pc)``
+    target anywhere in the group pins the raw pc numbering and caps the
+    level at 1 (the pc-stable pipeline).
+    """
+    level = int(queries[0].optimize)
+    if level < 2:
+        return level, None
+    specs: set = set()
+    for query in queries:
+        normalised = normalise_slice_targets(query.target)
+        if normalised is None:
+            return min(level, 1), None
+        specs.update(normalised)
+    return level, tuple(sorted(specs))
+
+
 def _session_check(session, query: BatchQuery):
     """One session query with the optional degradation ladder applied."""
     try:
@@ -258,6 +290,7 @@ def run_shard(query: BatchQuery) -> ShardResult:
                 algorithm=query.algorithm,
                 early_stop=query.early_stop,
                 limits=query.limits,
+                optimize=query.optimize,
             )
         return ShardResult(
             name=query.name,
@@ -304,8 +337,13 @@ def run_shard_group(queries: Sequence[BatchQuery]) -> List[ShardResult]:
     head = queries[0]
     started = time.perf_counter()
     try:
+        level, slice_specs = _group_optimize(queries)
         session = SessionSpec(
-            program=head.program, default_algorithm=head.algorithm, limits=head.limits
+            program=head.program,
+            default_algorithm=head.algorithm,
+            limits=head.limits,
+            optimize=level,
+            slice_targets=slice_specs,
         ).open()
     except Exception as exc:  # noqa: BLE001 — group setup failure hits every query
         elapsed = time.perf_counter() - started
@@ -510,8 +548,15 @@ def run_shards_snapshot(
     head = queries[0]
     solve_started = time.perf_counter()
     try:
+        # The snapshot handle carries no slice pedigree (freeze() refuses
+        # sliced sessions), so the fan-out path optimizes without slicing;
+        # workers resolve string specs against the frozen optimized CFG.
+        level, _ = _group_optimize(queries)
         session = SessionSpec(
-            program=head.program, default_algorithm=head.algorithm, limits=head.limits
+            program=head.program,
+            default_algorithm=head.algorithm,
+            limits=head.limits,
+            optimize=level,
         ).open()
         try:
             session.solve(head.algorithm)
@@ -619,8 +664,9 @@ def _group_key(query: BatchQuery, index: int):
         return ("solo", index)
     program_key = query.program if isinstance(query.program, str) else id(query.program)
     # Limits are frozen (hashable) and govern the shared session, so queries
-    # under different envelopes must not share one.
-    return ("session", program_key, query.algorithm, query.limits)
+    # under different envelopes must not share one; likewise the optimize
+    # level, which decides which program the session compiles.
+    return ("session", program_key, query.algorithm, query.limits, query.optimize)
 
 
 def group_queries(queries: Sequence[BatchQuery]) -> List[List[int]]:

@@ -187,11 +187,50 @@ class AnalysisDaemon:
         if op == "shutdown":
             asyncio.get_running_loop().create_task(self.shutdown())
             return {"id": request_id, "ok": True, "op": "shutdown", "draining": True}
+        if op == "lint":
+            return self._handle_lint(request, request_id)
         if op != "query":
             return self._error_response(
                 request_id, "error", error_payload("BadRequest", f"unknown op {op!r}")
             )
         return await self._handle_query(request, request_id)
+
+    def _handle_lint(self, request: Dict[str, object], request_id) -> Dict[str, object]:
+        """Static diagnostics for one program — no session, no worker hop.
+
+        Linting is a pure front-end pass (:func:`repro.analysis.lint_program`):
+        parse, typecheck, run the optimizer's closures in reporting mode.
+        It runs inline in the service loop; ``findings`` mirrors the CLI's
+        ``repro lint`` JSON shape so clients share one consumer.
+        """
+        from ..analysis import lint_program
+        from ..boolprog import BoolProgError
+
+        program = request.get("program")
+        if not isinstance(program, str) or not program.strip():
+            return self._error_response(
+                request_id,
+                "error",
+                error_payload("BadRequest", "request needs a non-empty 'program' string"),
+            )
+        try:
+            findings = lint_program(program)
+        except BoolProgError as exc:
+            return self._error_response(
+                request_id, "error", error_payload(type(exc).__name__, str(exc))
+            )
+        except Exception as exc:  # noqa: BLE001 — the service answers, always
+            return self._error_response(
+                request_id, "crashed", error_payload(type(exc).__name__, str(exc))
+            )
+        self.status_counts["ok"] = self.status_counts.get("ok", 0) + 1
+        return {
+            "id": request_id,
+            "ok": True,
+            "op": "lint",
+            "clean": not findings,
+            "findings": [finding.to_dict() for finding in findings],
+        }
 
     async def _handle_query(self, request: Dict[str, object], request_id) -> Dict[str, object]:
         self.counters["requests"] += 1

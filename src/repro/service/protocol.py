@@ -97,6 +97,12 @@ class QueryJob:
     context_switches: int = 2
     early_stop: bool = True
     limits: Optional[ResourceLimits] = None
+    #: Static pre-analysis level (0–2, :mod:`repro.analysis`) the pooled
+    #: session compiles at.  Baked into ``program_hash`` (an ``:O<level>``
+    #: suffix) so pool, coalescer, breaker and snapshot catalog never mix
+    #: sessions built from differently-optimized programs.  Pooled sessions
+    #: serve arbitrary targets, so they never slice.
+    optimize: int = 0
     #: A :class:`repro.api.session.SessionSnapshot` the daemon attached from
     #: its catalog: the worker opens the session copy-free from the frozen
     #: solved table instead of re-solving (set by the daemon, never parsed
@@ -239,15 +245,39 @@ def parse_request(
     name = request.get("name")
     if name is not None and not isinstance(name, str):
         raise ProtocolError("BadRequest", "name must be a string when given")
+    optimize = request.get("optimize", 0)
+    if isinstance(optimize, bool) or not isinstance(optimize, int) or not 0 <= optimize <= 2:
+        raise ProtocolError("BadRequest", "optimize must be an integer 0, 1 or 2")
+    if concurrent and optimize:
+        raise ProtocolError(
+            "BadRequest", "optimize is not supported for concurrent queries"
+        )
+    target = _normalise_target(request.get("target", "error"))
+    if optimize >= 2 and not (
+        isinstance(target, str) or all(isinstance(item, str) for item in target)
+    ):
+        raise ProtocolError(
+            "BadRequest",
+            "optimize level 2 renumbers program counters; numeric "
+            "[module, pc] targets require optimize <= 1 (string specs "
+            "'error'/'procedure:label' stay valid at any level)",
+        )
+    program_hash = content_hash(program)
+    if optimize:
+        # Different levels compile different programs: keep them apart in
+        # the session pool, the coalescer, the breaker and the snapshot
+        # catalog — all of which key on this hash.
+        program_hash = f"{program_hash}:O{optimize}"
     return QueryJob(
         id=job_id,
         name=name or job_id,
         program=program,
-        program_hash=content_hash(program),
-        target=_normalise_target(request.get("target", "error")),
+        program_hash=program_hash,
+        target=target,
         algorithm=str(algorithm),
         concurrent=concurrent,
         context_switches=context_switches,
         early_stop=bool(request.get("early_stop", True)),
         limits=_request_limits(request, default_limits),
+        optimize=optimize,
     )

@@ -90,10 +90,14 @@ class SessionCache:
                 except Exception:  # noqa: BLE001 — degrade to a fresh session
                     session = None
             if session is None:
+                # Pooled sessions serve arbitrary targets across requests,
+                # so they optimize but never slice (slice_targets stays
+                # unset); string specs resolve against the optimized CFG.
                 session = AnalysisSession(
                     job.program,
                     default_algorithm=job.algorithm,
                     limits=job.limits,
+                    optimize=job.optimize,
                 )
             entry = _CacheEntry(session, from_snapshot=from_snapshot)
             if from_snapshot:

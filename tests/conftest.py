@@ -1,0 +1,27 @@
+"""Shared pytest configuration.
+
+BDD kernel sanitizer shard
+--------------------------
+Exporting ``REPRO_DEBUG_CHECKS=1`` turns on
+:meth:`repro.bdd.BddManager._debug_validate` for every manager the suite
+constructs: the autouse fixture below normalises the value so worker
+subprocesses (the service pool, shard executors) inherit the canonical
+``"1"``, and managers consult the variable at construction time.  One CI
+shard runs the BDD-heavy test files this way; any refcount, free-list,
+unique-table or op-cache corruption then fails the owning test at the next
+GC safe point instead of surfacing later as a wrong verdict.
+"""
+
+import os
+
+import pytest
+
+DEBUG_CHECKS = os.environ.get("REPRO_DEBUG_CHECKS", "") not in ("", "0")
+
+
+@pytest.fixture(autouse=True)
+def bdd_debug_checks(monkeypatch):
+    """Propagate the sanitizer switch to every test (and its subprocesses)."""
+    if DEBUG_CHECKS:
+        monkeypatch.setenv("REPRO_DEBUG_CHECKS", "1")
+    yield

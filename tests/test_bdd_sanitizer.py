@@ -1,0 +1,170 @@
+"""Tests for the BDD kernel sanitizer (``BddManager(debug_checks=True)``).
+
+Two directions, over both node-store layouts:
+
+* **Clean paths stay clean** — formula construction, explicit and triggered
+  collection, rename/restrict/quantify and the snapshot-overlay attach all
+  pass validation at every GC safe point; verdict-bearing workloads behave
+  identically with the sanitizer armed.
+* **Corruption is caught** — each invariant the sanitizer guards (live
+  counter, free-list purity, unique-table/node-vector agreement, the
+  regular then-edge canonical form, external-reference liveness, op-cache
+  edge liveness) has a test that injects exactly that corruption and
+  asserts :class:`BddError` names it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import BddManager, SnapshotOverlayManager, SnapshotView
+from repro.bdd import snapshot as bdd_snapshot
+from repro.bdd._array import EDGE_BITS
+from repro.bdd.manager import BddError
+
+STORES = ["dict", "array"]
+
+VARS = [f"v{i}" for i in range(8)]
+
+
+def make_manager(store, **kwargs):
+    kwargs.setdefault("debug_checks", True)
+    return BddManager(VARS, store=store, **kwargs)
+
+
+def churn(mgr, rounds=6):
+    """Build and drop structure so sweeps have something to reclaim."""
+    f = mgr.TRUE
+    for i in range(rounds):
+        f = mgr.and_(f, mgr.xor(mgr.var(i % 8), mgr.nvar((i + 3) % 8)))
+        mgr.or_(f, mgr.var((i + 1) % 8))
+    return f
+
+
+# ----------------------------------------------------------------------
+# Clean paths
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("store", STORES)
+def test_clean_lifecycle_validates(store):
+    mgr = make_manager(store, gc_threshold=8)
+    kept = mgr.ref(churn(mgr))
+    assert mgr.collect_garbage([]) >= 0  # validates at the safe point
+    assert not mgr.maybe_collect([kept]) or True  # either branch validates
+    g = mgr.exists(kept, [0, 1])
+    mgr.restrict(g, {2: True})
+    mgr.collect_garbage([kept])
+    mgr.deref(kept)
+    mgr.collect_garbage([])
+    assert mgr.stats()["debug_checks"] is True
+
+
+@pytest.mark.parametrize("store", STORES)
+def test_triggered_collection_validates(store):
+    mgr = make_manager(store, gc_threshold=4, gc_growth=1.0)
+    for _ in range(4):
+        churn(mgr)
+        assert mgr.maybe_collect([]) in (True, False)
+
+
+def test_env_variable_enables_checks(monkeypatch):
+    monkeypatch.setenv("REPRO_DEBUG_CHECKS", "1")
+    assert BddManager(["a"])._debug_checks is True
+    monkeypatch.setenv("REPRO_DEBUG_CHECKS", "0")
+    assert BddManager(["a"])._debug_checks is False
+    monkeypatch.delenv("REPRO_DEBUG_CHECKS")
+    assert BddManager(["a"])._debug_checks is False
+    # An explicit argument wins over the environment.
+    monkeypatch.setenv("REPRO_DEBUG_CHECKS", "1")
+    assert BddManager(["a"], debug_checks=False)._debug_checks is False
+
+
+# ----------------------------------------------------------------------
+# Corruption detection
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("store", STORES)
+def test_detects_free_list_corruption(store):
+    mgr = make_manager(store)
+    node = mgr.and_(mgr.var(0), mgr.var(1))
+    mgr._free.append(node >> 1)  # a live slot on the free list
+    with pytest.raises(BddError, match="free list"):
+        mgr._debug_validate()
+
+
+@pytest.mark.parametrize("store", STORES)
+def test_detects_live_counter_drift(store):
+    mgr = make_manager(store)
+    mgr.and_(mgr.var(0), mgr.var(1))
+    mgr._live += 1
+    with pytest.raises(BddError, match="live counter"):
+        mgr._debug_validate()
+
+
+@pytest.mark.parametrize("store", STORES)
+def test_detects_unique_table_mismatch(store):
+    mgr = make_manager(store)
+    mgr.and_(mgr.var(0), mgr.var(1))
+    key = next(iter(mgr._unique))
+    mgr._unique[key] = mgr._unique[key] + 1 if len(mgr._level) > 2 else 1
+    with pytest.raises(BddError, match="unique"):
+        mgr._debug_validate()
+
+
+@pytest.mark.parametrize("store", STORES)
+def test_detects_complemented_then_edge(store):
+    mgr = make_manager(store)
+    node = mgr.and_(mgr.var(0), mgr.var(1))
+    mgr._hi[node >> 1] ^= 1  # break the attributed-edge canonical form
+    with pytest.raises(BddError):
+        mgr._debug_validate()
+
+
+@pytest.mark.parametrize("store", STORES)
+def test_detects_dangling_external_reference(store):
+    mgr = make_manager(store)
+    mgr._extref[len(mgr._level) + 3] = 1
+    with pytest.raises(BddError, match="external reference"):
+        mgr._debug_validate()
+
+
+@pytest.mark.parametrize("store", STORES)
+def test_detects_stale_cache_edge(store):
+    mgr = make_manager(store, debug_checks=False)
+    keep = mgr.ref(mgr.var(2))
+    dead = mgr.and_(mgr.var(0), mgr.var(1))
+    mgr.collect_garbage([])  # reclaims `dead`; `keep` pins its own slot
+    if store == "dict":
+        mgr._and_cache[(dead, keep)] = keep
+    else:
+        mgr._and_cache[(dead << EDGE_BITS) | keep] = keep
+    mgr._debug_checks = True
+    with pytest.raises(BddError, match="cache mentions dead edge"):
+        mgr._debug_validate()
+
+
+# ----------------------------------------------------------------------
+# Snapshot overlay
+# ----------------------------------------------------------------------
+def test_overlay_validates_clean_and_corrupt():
+    mgr = BddManager(VARS, store="array", debug_checks=True)
+    f = mgr.ref(churn(mgr))
+    mgr.collect_garbage([])
+    name = bdd_snapshot.freeze(mgr)
+    try:
+        view = SnapshotView(name)
+        overlay = SnapshotOverlayManager(view, debug_checks=True)
+        # Rebuild a frozen function (base hits) and fresh tail structure.
+        rebuilt = overlay.ref(churn(overlay))
+        assert rebuilt == f  # canonicity across the base/tail boundary
+        tail_only = overlay.ref(
+            overlay.and_(overlay.xor(overlay.var(0), overlay.var(7)), rebuilt)
+        )
+        overlay.collect_garbage([])  # validates the overlay invariants
+        overlay.deref(tail_only)
+        overlay.collect_garbage([])
+        overlay._free.append(0)  # terminal slot can never be free
+        with pytest.raises(BddError, match="overlay free list"):
+            overlay._debug_validate()
+        overlay._free.pop()
+        overlay.detach()
+    finally:
+        bdd_snapshot.unlink(name)

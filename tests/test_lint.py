@@ -1,0 +1,190 @@
+"""Tests for the program linter (:func:`repro.analysis.lint_program`).
+
+Covers the finding taxonomy (one fixture per code), the clean path, the
+dedupe/stability guarantees, the ``getafix lint`` CLI subcommand (JSON
+shape and the 0/1/2 exit convention) and the daemon's inline ``lint`` op.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.analysis import LintFinding, lint_program
+from repro.boolprog import parse_program
+from repro.frontends.cli import main as cli_main
+from repro.service import AnalysisDaemon, DaemonConfig
+
+CLEAN = """
+decl g;
+main() begin
+  decl x;
+  x := *;
+  call helper(x);
+  if (g) then target: skip; fi
+end
+helper(v) begin
+  g := v;
+end
+"""
+
+DIRTY = """
+decl g, ghost;
+main() begin
+  decl x, scratch;
+  x := *;
+  scratch := x;
+  if (g) then
+    skip;
+  fi
+  assume(x ^ x);
+  if (x) then target: skip; fi
+  assume(F);
+  skip;
+end
+stray(w) begin
+  ghost := w;
+end
+"""
+
+
+def codes(findings):
+    return {finding.code for finding in findings}
+
+
+class TestLintProgram:
+    def test_clean_program_has_no_findings(self):
+        assert lint_program(CLEAN) == []
+
+    def test_dirty_program_finding_codes(self):
+        found = codes(lint_program(DIRTY))
+        assert "unreachable-procedure" in found  # stray
+        assert "dead-variable" in found  # ghost, scratch
+        assert "dead-write" in found  # scratch := x
+        assert "assume-false" in found  # assume(x ^ x) folds to F
+        assert "always-false-read" in found  # if (g) with g never written
+        assert "unreachable-code" in found  # skip after literal assume(F)
+
+    def test_accepts_parsed_programs(self):
+        assert codes(lint_program(parse_program(DIRTY))) == codes(
+            lint_program(DIRTY)
+        )
+
+    def test_findings_are_deduped_and_stable(self):
+        first = lint_program(DIRTY)
+        assert len(first) == len(set(first))
+        assert first == lint_program(DIRTY)
+
+    def test_constant_condition_reported(self):
+        source = """
+        decl g;
+        main() begin
+          if (T) then g := !g; fi
+          if (g) then target: skip; fi
+        end
+        """
+        found = lint_program(source)
+        assert "constant-condition" in codes(found)
+        assert any(
+            finding.procedure == "main" and finding.severity == "warning"
+            for finding in found
+        )
+
+    def test_finding_to_dict_shape(self):
+        finding = lint_program(DIRTY)[0]
+        payload = finding.to_dict()
+        assert set(payload) == {"code", "procedure", "message", "severity"}
+        assert finding == LintFinding(**payload)
+
+
+class TestLintCli:
+    def write(self, tmp_path, name, source):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    def test_clean_file_exits_zero_with_json(self, tmp_path, capsys):
+        status = cli_main(["lint", self.write(tmp_path, "clean.bp", CLEAN)])
+        records = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert records[0]["clean"] is True and records[0]["findings"] == []
+
+    def test_dirty_file_exits_one_with_findings(self, tmp_path, capsys):
+        status = cli_main(["lint", self.write(tmp_path, "dirty.bp", DIRTY)])
+        records = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert records[0]["clean"] is False
+        assert {finding["code"] for finding in records[0]["findings"]} >= {
+            "unreachable-procedure",
+            "dead-variable",
+        }
+
+    def test_multiple_files_aggregate_status(self, tmp_path, capsys):
+        status = cli_main(
+            [
+                "lint",
+                self.write(tmp_path, "clean.bp", CLEAN),
+                self.write(tmp_path, "dirty.bp", DIRTY),
+            ]
+        )
+        records = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert [record["clean"] for record in records] == [True, False]
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        status = cli_main(
+            ["lint", self.write(tmp_path, "broken.bp", "main() begin oops")]
+        )
+        capsys.readouterr()
+        assert status == 2
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        status = cli_main(["lint", str(tmp_path / "absent.bp")])
+        capsys.readouterr()
+        assert status == 2
+
+
+class TestLintDaemonOp:
+    def run_op(self, request):
+        async def scenario():
+            daemon = AnalysisDaemon(DaemonConfig(workers=0))
+            await daemon.start()
+            try:
+                return await daemon.handle_request(request)
+            finally:
+                await daemon.shutdown(drain=False)
+
+        return asyncio.run(scenario())
+
+    def test_clean_program(self):
+        response = self.run_op({"op": "lint", "program": CLEAN, "id": 7})
+        assert response["ok"] is True
+        assert response["op"] == "lint"
+        assert response["clean"] is True and response["findings"] == []
+        assert response["id"] == 7
+
+    def test_dirty_program_findings_mirror_cli_shape(self):
+        response = self.run_op({"op": "lint", "program": DIRTY})
+        assert response["ok"] is True and response["clean"] is False
+        found = {finding["code"] for finding in response["findings"]}
+        assert "unreachable-procedure" in found
+        assert all(
+            set(finding) == {"code", "procedure", "message", "severity"}
+            for finding in response["findings"]
+        )
+
+    def test_parse_error_is_typed(self):
+        response = self.run_op({"op": "lint", "program": "main() begin oops"})
+        assert response["ok"] is False
+        assert response["status"] == "error"
+
+    @pytest.mark.parametrize("program", [None, "", "   ", 42])
+    def test_bad_program_is_bad_request(self, program):
+        request = {"op": "lint"}
+        if program is not None:
+            request["program"] = program
+        response = self.run_op(request)
+        assert response["ok"] is False
+        assert response["error"]["type"] == "BadRequest"

@@ -1,0 +1,140 @@
+"""Property tests: every analysis pass is semantics-preserving in isolation.
+
+Each pass is applied *directly* (not through :func:`repro.analysis.optimize`)
+to randomly generated programs from the benchgen fuzzer, and the reachability
+verdict of the rewritten program is compared against the explicit BEBOP
+replay of the original.  Structural passes additionally re-run the static
+checker to prove they emit well-formed programs.
+
+This is deliberately redundant with the composed-pipeline differential in
+``test_optimize.py``: when the composition breaks, these tests name the
+single pass that did it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    PassReport,
+    eliminate_dead,
+    fold_constants,
+    fold_expr,
+    optimize,
+    prune_branches,
+    prune_unreachable,
+    slice_to_targets,
+)
+from repro.baselines import run_bebop
+from repro.benchgen import random_program
+from repro.boolprog import BinOp, Lit, NotE, VarRef, check_program
+from repro.frontends import resolve_target
+
+TARGET = "main:target"
+
+PASSES = {
+    "fold_constants": lambda program, report: fold_constants(program, report),
+    "eliminate_dead": lambda program, report: eliminate_dead(program, report),
+    "prune_branches": lambda program, report: prune_branches(program, report),
+    "slice_to_targets": lambda program, report: slice_to_targets(
+        program, (TARGET,), report
+    ),
+    "prune_unreachable": lambda program, report: prune_unreachable(
+        program, (TARGET,), report
+    ),
+}
+
+# One verdict per seed, shared across all pass checks for that seed.
+_baseline_cache = {}
+
+
+def baseline(seed):
+    if seed not in _baseline_cache:
+        program = random_program(seed)
+        verdict = run_bebop(program, resolve_target(program, TARGET)).reachable
+        _baseline_cache[seed] = (program, verdict)
+    return _baseline_cache[seed]
+
+
+@pytest.mark.parametrize("pass_name", sorted(PASSES))
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=400))
+def test_single_pass_preserves_verdict(pass_name, seed):
+    program, expected = baseline(seed)
+    report = PassReport(level=2)
+    rewritten = PASSES[pass_name](program, report)
+    check_program(rewritten)
+    got = run_bebop(rewritten, resolve_target(rewritten, TARGET)).reachable
+    assert got == expected, f"{pass_name} flipped seed {seed}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=400), level=st.sampled_from([1, 2]))
+def test_pipeline_preserves_verdict(seed, level):
+    program, expected = baseline(seed)
+    targets = TARGET if level == 2 else None
+    rewritten, report = optimize(program, targets=targets, level=level)
+    check_program(rewritten)
+    got = run_bebop(rewritten, resolve_target(rewritten, TARGET)).reachable
+    assert got == expected, f"-O{level} flipped seed {seed}"
+    if level == 1:
+        assert report.pc_stable
+
+
+# ----------------------------------------------------------------------
+# fold_expr agrees with a brute-force evaluator over deterministic
+# expressions (nondeterministic leaves are excluded: `*` has no single
+# truth value, and fold_expr must not equate two occurrences of it).
+# ----------------------------------------------------------------------
+VAR_NAMES = ("a", "b", "c")
+
+
+def expr_strategy():
+    leaves = st.one_of(
+        st.sampled_from([VarRef(name) for name in VAR_NAMES]),
+        st.booleans().map(Lit),
+    )
+
+    def extend(children):
+        return st.one_of(
+            children.map(NotE),
+            st.tuples(
+                st.sampled_from(["&", "|", "^", "==", "!="]), children, children
+            ).map(lambda t: BinOp(t[0], t[1], t[2])),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=16)
+
+
+def eval_expr(expression, env):
+    if isinstance(expression, Lit):
+        return expression.value
+    if isinstance(expression, VarRef):
+        return env[expression.name]
+    if isinstance(expression, NotE):
+        return not eval_expr(expression.operand, env)
+    op, left, right = (
+        expression.op,
+        eval_expr(expression.left, env),
+        eval_expr(expression.right, env),
+    )
+    if op == "&":
+        return left and right
+    if op == "|":
+        return left or right
+    if op in ("^", "!="):
+        return left != right
+    return left == right
+
+
+@settings(max_examples=200, deadline=None)
+@given(expression=expr_strategy())
+def test_fold_expr_is_truth_table_exact(expression):
+    folded = fold_expr(expression)
+    for bits in range(1 << len(VAR_NAMES)):
+        env = {
+            name: bool(bits >> position & 1)
+            for position, name in enumerate(VAR_NAMES)
+        }
+        assert eval_expr(folded, env) == eval_expr(expression, env)

@@ -6,6 +6,7 @@ from repro.boolprog import (
     Assign,
     Call,
     CallAssign,
+    NotE,
     VarRef,
     parse_concurrent_program,
     parse_expression,
@@ -72,6 +73,51 @@ class TestRenaming:
         call_assign = rename_in_stmt(body[2], variables, calls)
         assert isinstance(call_assign, CallAssign) and call_assign.callee == "left__helper2"
 
+    def test_rename_procedure_respects_local_shadowing(self):
+        program = parse_program(
+            """
+            decl cache;
+            main() begin
+              decl cache;
+              cache := T;
+              call use(cache);
+            end
+            use(v) begin
+              cache := v;
+            end
+            """
+        )
+        variables = {"cache": "left__cache"}
+        shadowing = rename_procedure(
+            program.procedure("main"), "left__main", variables, {}
+        )
+        # `main` redeclares `cache`, so its body must keep the local name.
+        assert isinstance(shadowing.body[0], Assign)
+        assert shadowing.body[0].targets == ["cache"]
+        assert shadowing.body[1].args[0] == VarRef("cache")
+        # `use` does not shadow: its write goes to the renamed global.
+        plain = rename_procedure(program.procedure("use"), "left__use", variables, {})
+        assert plain.body[0].targets == ["left__cache"]
+
+    def test_rename_procedure_respects_param_shadowing(self):
+        program = parse_program(
+            """
+            decl v;
+            main() begin
+              call use(v);
+            end
+            use(v) begin
+              v := !v;
+            end
+            """
+        )
+        variables = {"v": "left__v"}
+        plain = rename_procedure(program.procedure("main"), "m", variables, {})
+        assert plain.body[0].args[0] == VarRef("left__v")
+        shadowing = rename_procedure(program.procedure("use"), "u", variables, {})
+        assert shadowing.body[0].targets == ["v"]
+        assert shadowing.body[0].values[0] == NotE(VarRef("v"))
+
     def test_rename_procedure_keeps_labels(self):
         program = parse_program(
             """
@@ -111,3 +157,36 @@ class TestMergeThreads:
         main_body = merged.procedure("left__main").body
         call = main_body[1]
         assert isinstance(call, Call) and call.callee == "left__push"
+
+    def test_merge_respects_local_shadowing_of_private_globals(self):
+        # Regression: `poke` redeclares the thread-private global `cache`.
+        # Renaming its uses (but not the declaration) would make the F-write
+        # hit the merged global and flip the verdict to unreachable.
+        source = """
+        shared decl flag;
+
+        thread left begin
+          decl cache;
+          main() begin
+            cache := T;
+            call poke();
+            if (cache) then target: skip; fi
+          end
+          poke() begin
+            decl cache;
+            cache := F;
+          end
+        end
+        """
+        merged, mains = merge_threads(parse_concurrent_program(source))
+        check_program(merged)
+        assert mains == ["left__main"]
+        poke = merged.procedure("left__poke")
+        assert poke.locals == ["cache"]
+        assert poke.body[-1].targets == ["cache"]
+
+        from repro.baselines import run_bebop
+        from repro.frontends import resolve_target
+
+        verdict = run_bebop(merged, resolve_target(merged, "left__main:target"))
+        assert verdict.reachable is True
