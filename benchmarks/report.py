@@ -876,6 +876,77 @@ def optimize_smoke(jobs: int = 2, random_count: int = 200) -> None:
     print("optimize smoke OK: measured variable reduction on the driver corpus")
 
 
+def witness_smoke(jobs: int = 2) -> None:
+    """CI gate for counterexample witness traces.
+
+    Over the full sequential benchgen corpus, for all three fixed-point
+    algorithms:
+
+    * every **reachable** query run with ``witness=True`` yields a trace
+      that passed the explicit-semantics replay (``validated``) with no
+      recorded ``witness_error``, and the verdict equals the expected one
+      (extraction never flips a verdict);
+    * every **unreachable** query yields no trace at all;
+    * the sharded path (``run_shards`` at ``--jobs 2`` with
+      ``BatchQuery.witness``) reproduces the same contract through pooled
+      group sessions.
+    """
+    from repro.frontends.getafix import check_reachability
+    from repro.parallel import BatchQuery, run_shards
+
+    algorithms = ("summary", "ef", "ef-opt")
+    corpus = _optimize_corpus()
+    traced = 0
+    for name, program, target, expected in corpus:
+        for algorithm in algorithms:
+            result = check_reachability(
+                program, target=target, algorithm=algorithm, witness=True
+            )
+            assert result.reachable == expected, (
+                f"{name}: {algorithm} with witness extraction returned "
+                f"{result.reachable}, expected {expected}"
+            )
+            error = result.details.get("witness_error")
+            assert error is None, f"{name}: {algorithm} witness failed: {error}"
+            if expected:
+                assert result.witness is not None, f"{name}: {algorithm} missing trace"
+                assert result.witness["validated"], f"{name}: {algorithm} not replayed"
+                assert result.witness["length"] == len(result.witness["steps"])
+                traced += 1
+            else:
+                assert result.witness is None, f"{name}: trace for unreachable target"
+    print(
+        f"witness smoke: direct path ok ({len(corpus)} programs x "
+        f"{len(algorithms)} algorithms, {traced} replay-validated traces)"
+    )
+
+    queries = [
+        BatchQuery(name=name, program=program, target=target, witness=True)
+        for name, program, target, _ in corpus
+    ]
+    shards, _, _ = run_shards(queries, jobs=jobs)
+    assert all(shard.ok for shard in shards), [s.error for s in shards]
+    traced = 0
+    for shard, (name, _, _, expected) in zip(shards, corpus):
+        result = shard.result
+        assert result.reachable == expected, (
+            f"{name}: sharded witness verdict {result.reachable} != {expected}"
+        )
+        error = result.details.get("witness_error")
+        assert error is None, f"{name}: sharded witness failed: {error}"
+        if expected:
+            assert result.witness is not None and result.witness["validated"], (
+                f"{name}: sharded query missing a validated trace"
+            )
+            traced += 1
+        else:
+            assert result.witness is None, f"{name}: sharded trace for unreachable"
+    print(
+        f"witness smoke OK: sharded path at jobs={jobs}, "
+        f"{traced} replay-validated traces, verdicts identical"
+    )
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -896,6 +967,7 @@ def main(argv: List[str] | None = None) -> int:
             "snapshot-smoke",
             "optimize",
             "optimize-smoke",
+            "witness-smoke",
             "all",
         ],
         help="which table to regenerate",
@@ -959,6 +1031,8 @@ def main(argv: List[str] | None = None) -> int:
             print()
     if args.what == "optimize-smoke":
         optimize_smoke(jobs=min(args.jobs, 2), random_count=args.random)
+    if args.what == "witness-smoke":
+        witness_smoke(jobs=min(args.jobs, 2))
     if args.what == "parallel-smoke":
         parallel_smoke()
     if args.what == "session-smoke":

@@ -48,6 +48,13 @@ class ReachabilityResult:
         When the degradation ladder retried this query with a cheaper
         algorithm after the original exhausted its resource envelope, the
         name of the algorithm originally requested; None otherwise.
+    witness:
+        JSON-ready counterexample trace (the ``WitnessTrace.to_dict()``
+        shape from :mod:`repro.witness`) when the query ran with witness
+        extraction enabled and the target is reachable; None otherwise.
+        A replay-validation failure leaves this None and records the typed
+        error under ``details["witness_error"]`` — the verdict never
+        depends on extraction.
     """
 
     reachable: bool
@@ -63,6 +70,7 @@ class ReachabilityResult:
     details: Dict[str, object] = field(default_factory=dict)
     stats: Dict[str, object] = field(default_factory=dict)
     degraded_from: Optional[str] = None
+    witness: Optional[Dict[str, object]] = None
 
     def cache_hit_rate(self, op: str) -> Optional[float]:
         """Convenience accessor for a kernel operation's cache hit rate."""

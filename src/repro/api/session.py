@@ -249,6 +249,9 @@ class _AlgorithmState:
         )
         self.solved: Optional[_Retained] = None
         self.partial: Optional[_Retained] = None
+        # Lazily-built witness extractor (repro.witness); it GC-pins its
+        # Kleene layers in this state's manager, so the state owns its close.
+        self.witness_extractor = None
         self.solve_count = 0
         self.query_count = 0
         self.reused_query_count = 0
@@ -291,6 +294,9 @@ class _AlgorithmState:
 
     def close(self) -> None:
         """Release every artifact; the manager returns to its baseline."""
+        if self.witness_extractor is not None:
+            self.witness_extractor.close()
+            self.witness_extractor = None
         self.drop_retained(self.solved)
         self.drop_retained(self.partial)
         self.solved = self.partial = None
@@ -712,6 +718,48 @@ class AnalysisSession:
             self.check(target, algorithm=state.algorithm, early_stop=early_stop)
             for target in targets
         ]
+
+    def explain(self, target: TargetSpec, algorithm: Optional[str] = None):
+        """Extract a replay-validated counterexample trace for ``target``.
+
+        Returns a :class:`~repro.witness.WitnessTrace` when the target is
+        reachable, ``None`` when it is not — extraction never changes a
+        verdict.  The trace is walked out of the retained summary
+        interpretations (solving first if needed) with the deterministic
+        ``pick_cube`` kernel primitive and then replayed through the
+        explicit semantics of :mod:`repro.baselines.semantics`; a trace
+        that fails the replay raises
+        :class:`~repro.witness.WitnessValidationError` instead of being
+        reported.  Resource limits govern the extraction like any query.
+        """
+        state = self._state(algorithm)
+        with self._governed(state):
+            return self._explain(state, target)
+
+    def _explain(self, state: _AlgorithmState, target: TargetSpec):
+        from ..witness import WitnessExtractor, validate_trace
+
+        locations = self.resolve(target)
+        signature = self._signature(locations)
+        if state.solved is None:
+            self._solve(state)
+        assert state.solved is not None
+        target_node = state.target_edge(self.encoder, signature)
+        merged = dict(state.base_interps)
+        merged["Target"] = target_node
+        merged.update(state.solved.interps)
+        if not state.query_holds(merged):
+            return None
+        extractor = state.witness_extractor
+        if extractor is None:
+            extractor = WitnessExtractor(state.backend, state.base, self.cfg)
+            state.witness_extractor = extractor
+        trace = extractor.extract(
+            state.algorithm, state.solved.interps, target_node, locations
+        )
+        if trace is None:
+            return None
+        return validate_trace(self.cfg, trace, locations)
 
     # -- snapshots ---------------------------------------------------------
     def freeze(self, algorithm: Optional[str] = None) -> SessionSnapshot:

@@ -128,17 +128,25 @@ class BebopSolver:
                         )
 
         elapsed = time.perf_counter() - started
+        # A path edge is <entry valuation> -> <current state>; several edges
+        # can share their state component, so the reached-state count is the
+        # projection onto (procedure, pc, locals, globals) — not len(path_edges).
+        reached_states = {
+            (procedure, pc, locals_, globals_)
+            for (procedure, _entry_l, _entry_g, pc, locals_, globals_) in path_edges
+        }
         return ReachabilityResult(
             reachable=reachable,
             algorithm="bebop-explicit",
             iterations=iterations,
             summary_nodes=len(path_edges),
-            summary_states=len(path_edges),
+            summary_states=len(reached_states),
             elapsed_seconds=elapsed,
             total_seconds=elapsed,
             stopped_early=reachable and early_stop,
             details={
                 "path_edges": len(path_edges),
+                "reached_states": len(reached_states),
                 "summaries": sum(len(values) for values in summaries.values()),
             },
         )

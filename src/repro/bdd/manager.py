@@ -1325,6 +1325,38 @@ class BddManager:
                 edge = self._hi[index] ^ sign
         return assignment
 
+    def pick_cube(
+        self, f: int, variables: Optional[Iterable[int | str]] = None
+    ) -> Optional[Dict[int, bool]]:
+        """The lowest-index satisfying cube of ``f``, total over ``variables``.
+
+        Deterministic counterpart of :meth:`sat_one`: among all satisfying
+        assignments the one that is lexicographically smallest in variable
+        order (preferring ``False`` at every level, which the prefer-low walk
+        realises on signed edges).  Variables in ``variables`` but outside the
+        support are filled with ``False``.  Because the walk only consults the
+        canonical ``(level, lo, hi)`` node data, the picked cube is identical
+        on the dict store, the array store and a snapshot overlay.
+
+        When ``variables`` is omitted the cube is total over the support.
+        Returns ``None`` iff ``f`` is unsatisfiable.
+        """
+        if f == self.FALSE:
+            return None
+        if variables is None:
+            var_set = self.support(f)
+        else:
+            var_set = self._var_set(variables)
+            missing = self.support(f) - var_set
+            if missing:
+                names = sorted(self._var_names[i] for i in missing)
+                raise BddError(
+                    f"pick_cube variables must cover the support; missing {names}"
+                )
+        assignment = self.sat_one(f)
+        assert assignment is not None
+        return {index: assignment.get(index, False) for index in sorted(var_set)}
+
     def sat_all(self, f: int, variables: Iterable[int | str]) -> Iterator[Dict[int, bool]]:
         """Iterate over all satisfying assignments restricted to ``variables``.
 

@@ -105,6 +105,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="disable early termination when the target is found reachable",
     )
     parser.add_argument(
+        "--witness",
+        action="store_true",
+        help="extract a replay-validated counterexample trace for every "
+        "reachable verdict (sequential algorithms only; with --json the "
+        "trace rides in the result's 'witness' field)",
+    )
+    parser.add_argument(
         "-O",
         "--optimize",
         type=int,
@@ -211,6 +218,11 @@ def _validate_flags(args: argparse.Namespace) -> Optional[str]:
             "--optimize applies to sequential programs only; the concurrent "
             "engine has no pre-analysis pipeline"
         )
+    if args.concurrent and args.witness:
+        return (
+            "--witness applies to sequential programs only; the bounded "
+            "context-switching engine has no trace extraction"
+        )
     return None
 
 
@@ -311,6 +323,7 @@ def _run_single(
                     early_stop=not args.no_early_stop,
                     limits=limits,
                     optimize=args.optimize,
+                    witness=args.witness,
                 )
             break
         except ResourceExhausted as exc:
@@ -344,6 +357,23 @@ def _run_single(
             f"algorithm={result.algorithm} iterations={result.iterations} "
             f"summary-BDD-nodes={result.summary_nodes} time={result.total_seconds:.3f}s"
         )
+        if result.witness is not None:
+            steps = result.witness["steps"]
+            print(f"witness trace ({len(steps)} steps, replay-validated):")
+            for index, step in enumerate(steps):
+                values = {**step["locals"], **step["globals"]}
+                shown = " ".join(
+                    f"{name}={'1' if value else '0'}" for name, value in values.items()
+                )
+                print(
+                    f"  {index:3d}  {step['kind']:<8s} "
+                    f"{step['procedure']}:{step['pc']:<4d} {step['statement']}"
+                    + (f"  [{shown}]" if shown else "")
+                )
+        elif args.witness and result.reachable:
+            error = result.details.get("witness_error")
+            if error:
+                print(f"note: witness extraction failed: {error}", file=sys.stderr)
     return EXIT_REACHABLE if result.reachable else EXIT_UNREACHABLE
 
 
@@ -377,6 +407,7 @@ def _run_batch(
                     context_switches=args.context_switches,
                     early_stop=not args.no_early_stop,
                     optimize=args.optimize,
+                    witness=args.witness,
                 )
             )
     report = run_batch(

@@ -117,6 +117,7 @@ def check_reachability(
     early_stop: bool = True,
     limits: Optional[ResourceLimits] = None,
     optimize: int = 0,
+    witness: bool = False,
 ) -> ReachabilityResult:
     """Answer "is the target statement reachable?" for a sequential program.
 
@@ -130,6 +131,14 @@ def check_reachability(
     query is routed through a session that resolves the spec against the
     *optimized* CFG (and slices towards it); an explicit ``(module, pc)``
     list pins the raw numbering, capping the level at 1.
+
+    With ``witness`` a reachable verdict additionally carries a
+    replay-validated counterexample trace in ``result.witness`` (the
+    :class:`~repro.witness.WitnessTrace` JSON shape); extraction runs as a
+    post-pass on the session's retained summary and never changes the
+    verdict — if the trace fails its explicit-semantics replay, the typed
+    error is recorded under ``details["witness_error"]`` and ``witness``
+    stays None.
     """
     if algorithm not in SEQUENTIAL_ALGORITHMS:
         raise ValueError(
@@ -137,7 +146,7 @@ def check_reachability(
         )
     parsed = _as_program(program)
     optimize = int(optimize)
-    if optimize > 0:
+    if optimize > 0 or witness:
         # Imported lazily: repro.api builds on this front end's resolvers.
         from ..api.session import AnalysisSession
 
@@ -152,7 +161,17 @@ def check_reachability(
             slice_targets=specs if optimize >= 2 else None,
         )
         try:
-            return session.check(target, algorithm=algorithm, early_stop=early_stop)
+            result = session.check(target, algorithm=algorithm, early_stop=early_stop)
+            if witness and result.reachable:
+                from ..witness import WitnessError
+
+                try:
+                    trace = session.explain(target, algorithm=algorithm)
+                except WitnessError as exc:
+                    result.details["witness_error"] = f"{type(exc).__name__}: {exc}"
+                else:
+                    result.witness = trace.to_dict() if trace is not None else None
+            return result
         finally:
             session.close()
     locations = resolve_target(parsed, target)

@@ -104,6 +104,12 @@ class BatchQuery:
         (level 2) towards the union of its string target specs; any
         numeric ``(module, pc)`` target in the group caps the level at 1.
         Ignored for concurrent queries.
+    witness:
+        Attach a replay-validated counterexample trace to every reachable
+        verdict (``result.witness``, sequential queries only).  Not part of
+        the group key — extraction is a post-pass on the shared session's
+        retained summary; a replay failure records the typed error under
+        ``details["witness_error"]`` without changing the verdict.
     """
 
     name: str
@@ -116,6 +122,7 @@ class BatchQuery:
     expected: Optional[bool] = None
     limits: Optional[ResourceLimits] = None
     optimize: int = 0
+    witness: bool = False
 
 
 @dataclass
@@ -242,9 +249,10 @@ def _group_optimize(
 def _session_check(session, query: BatchQuery):
     """One session query with the optional degradation ladder applied."""
     try:
-        return session.check(
+        result = session.check(
             query.target, algorithm=query.algorithm, early_stop=query.early_stop
         )
+        algorithm = query.algorithm
     except ResourceExhausted:
         fallback = (
             DEGRADATION_LADDER.get(query.algorithm)
@@ -257,7 +265,22 @@ def _session_check(session, query: BatchQuery):
             query.target, algorithm=fallback, early_stop=query.early_stop
         )
         result.degraded_from = query.algorithm
-        return result
+        algorithm = fallback
+    if query.witness and result.reachable:
+        _attach_witness(result, session, query.target, algorithm)
+    return result
+
+
+def _attach_witness(result, session, target, algorithm: str) -> None:
+    """Post-pass witness extraction; never lets a failure change the verdict."""
+    from ..witness import WitnessError
+
+    try:
+        trace = session.explain(target, algorithm=algorithm)
+    except WitnessError as exc:
+        result.details["witness_error"] = f"{type(exc).__name__}: {exc}"
+    else:
+        result.witness = trace.to_dict() if trace is not None else None
 
 
 def run_shard(query: BatchQuery) -> ShardResult:
@@ -291,6 +314,7 @@ def run_shard(query: BatchQuery) -> ShardResult:
                 early_stop=query.early_stop,
                 limits=query.limits,
                 optimize=query.optimize,
+                witness=query.witness,
             )
         return ShardResult(
             name=query.name,

@@ -189,6 +189,12 @@ class AnalysisDaemon:
             return {"id": request_id, "ok": True, "op": "shutdown", "draining": True}
         if op == "lint":
             return self._handle_lint(request, request_id)
+        if op == "witness":
+            # A query that must carry a counterexample trace: same admission,
+            # pooling and coalescing path, with the witness flag forced on.
+            request = dict(request)
+            request["witness"] = True
+            return await self._handle_query(request, request_id)
         if op != "query":
             return self._error_response(
                 request_id, "error", error_payload("BadRequest", f"unknown op {op!r}")
@@ -430,6 +436,10 @@ class AnalysisDaemon:
             response["snapshot_attached"] = True
         if outcome.retries:
             response["retries"] = outcome.retries
+        if outcome.witness is not None:
+            response["witness"] = outcome.witness
+        if outcome.witness_error is not None:
+            response["witness_error"] = outcome.witness_error
         response["iterations"] = outcome.iterations
         response["elapsed_seconds"] = round(outcome.elapsed_seconds, 6)
         if outcome.error is not None:

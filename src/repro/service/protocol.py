@@ -111,6 +111,9 @@ class QueryJob:
     #: Ask the worker to freeze and return a snapshot after this query
     #: leaves the session solved (daemon-set; see ``DaemonConfig.snapshots``).
     publish_snapshot: bool = False
+    #: Attach a replay-validated counterexample trace to a reachable verdict
+    #: (the ``witness`` op / request field; sequential queries only).
+    witness: bool = False
 
     def coalesce_key(self) -> Tuple[object, ...]:
         """Requests with equal keys are answered by one shared execution."""
@@ -122,6 +125,7 @@ class QueryJob:
             self.context_switches,
             self.early_stop,
             self.limits,
+            self.witness,
         )
 
 
@@ -154,6 +158,12 @@ class QueryOutcome:
     #: True when the serving session was opened from a catalog snapshot on
     #: this very query (the solve was skipped, copy-free).
     snapshot_attached: bool = False
+    #: Replay-validated counterexample trace (``WitnessTrace.to_dict()``
+    #: shape) when the job asked for a witness and the target is reachable.
+    witness: Optional[Dict[str, object]] = None
+    #: Typed extraction/validation failure (``"ExcType: message"``); the
+    #: verdict above is still authoritative when this is set.
+    witness_error: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -252,15 +262,30 @@ def parse_request(
         raise ProtocolError(
             "BadRequest", "optimize is not supported for concurrent queries"
         )
+    witness = bool(request.get("witness", False))
+    if witness and concurrent:
+        raise ProtocolError(
+            "BadRequest",
+            "witness traces are supported for sequential queries only; the "
+            "bounded context-switching engine has no trace extraction",
+        )
     target = _normalise_target(request.get("target", "error"))
-    if optimize >= 2 and not (
+    numeric_target = not (
         isinstance(target, str) or all(isinstance(item, str) for item in target)
-    ):
+    )
+    if optimize >= 2 and numeric_target:
         raise ProtocolError(
             "BadRequest",
             "optimize level 2 renumbers program counters; numeric "
             "[module, pc] targets require optimize <= 1 (string specs "
             "'error'/'procedure:label' stay valid at any level)",
+        )
+    if witness and numeric_target and optimize:
+        raise ProtocolError(
+            "BadRequest",
+            "witness traces cannot be mapped back through optimized pc "
+            "numbering for numeric [module, pc] targets; use string specs "
+            "or optimize 0",
         )
     program_hash = content_hash(program)
     if optimize:
@@ -280,4 +305,5 @@ def parse_request(
         early_stop=bool(request.get("early_stop", True)),
         limits=_request_limits(request, default_limits),
         optimize=optimize,
+        witness=witness,
     )

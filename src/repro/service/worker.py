@@ -184,6 +184,25 @@ def _session_outcome(cache: SessionCache, job: QueryJob, started: float) -> Quer
             entry.published.add(algorithm)
         except Exception:  # noqa: BLE001 — snapshots are an optimisation
             snapshot = None
+    witness_dict: Optional[Dict[str, object]] = None
+    witness_error: Optional[str] = None
+    if job.witness and result.reachable:
+        # Witness extraction is a post-pass on the pooled session's retained
+        # summary; a typed failure is reported alongside the (authoritative)
+        # verdict, never instead of it.
+        from ..witness import WitnessError
+
+        try:
+            trace = session.explain(
+                list(job.target) if isinstance(job.target, tuple) else job.target,
+                algorithm=algorithm,
+            )
+        except WitnessError as exc:
+            witness_error = f"{type(exc).__name__}: {exc}"
+        else:
+            witness_dict = trace.to_dict() if trace is not None else None
+        # explain() solves when needed, so the session is warm afterwards.
+        entry.solved.add(algorithm)
     attached = entry.from_snapshot and not entry.attach_reported
     entry.attach_reported = True
     live = session.live_nodes()
@@ -201,6 +220,8 @@ def _session_outcome(cache: SessionCache, job: QueryJob, started: float) -> Quer
         worker_pid=os.getpid(),
         snapshot=snapshot,
         snapshot_attached=attached,
+        witness=witness_dict,
+        witness_error=witness_error,
     )
 
 

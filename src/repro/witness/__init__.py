@@ -1,0 +1,45 @@
+"""Counterexample witness traces for `reachable` verdicts.
+
+A *witness trace* turns a symbolic ``reachable`` answer into a concrete,
+statement-level execution: a sequence of program states (procedure, program
+counter, local and global valuations) connected by the internal, call and
+return moves of the control-flow graph, starting in the initial state of
+``main`` and ending at the queried target.
+
+The subsystem has three layers:
+
+:mod:`repro.witness.trace`
+    The :class:`WitnessStep` / :class:`WitnessTrace` records, the typed
+    error hierarchy and the statement renderer.
+:mod:`repro.witness.extract`
+    :class:`WitnessExtractor` — replays the entry-forward fixed point in
+    Kleene layers over the session's retained base interpretations and
+    walks one satisfying cube per step backward through the layers (the
+    deterministic ``pick_cube`` kernel primitive), across procedure calls
+    and returns.
+:mod:`repro.witness.replay`
+    :func:`validate_trace` — replays every extracted trace through the
+    explicit-state semantics of :mod:`repro.baselines.semantics`; a trace
+    that does not drive the program to the target is rejected with a typed
+    error and never reported (the verdict is unchanged either way).
+"""
+
+from .trace import (
+    WitnessError,
+    WitnessExtractionError,
+    WitnessStep,
+    WitnessTrace,
+    WitnessValidationError,
+)
+from .extract import WitnessExtractor
+from .replay import validate_trace
+
+__all__ = [
+    "WitnessError",
+    "WitnessExtractionError",
+    "WitnessValidationError",
+    "WitnessStep",
+    "WitnessTrace",
+    "WitnessExtractor",
+    "validate_trace",
+]

@@ -1,0 +1,194 @@
+"""Replay validation of witness traces through the explicit semantics.
+
+Every extracted trace is driven step by step through
+:class:`~repro.baselines.semantics.ExplicitContext` — the same transition
+relation the BEBOP baseline executes — with a frame stack for calls and
+returns.  A step that no CFG edge can produce, a call/return mismatch, or a
+final state outside the target locations raises
+:class:`~repro.witness.trace.WitnessValidationError`; the symbolic verdict
+is unchanged either way, a failed validation only withholds the trace.
+
+As a side effect of a successful replay every step is annotated with the
+source statement of the CFG edge that produced it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..baselines.semantics import ExplicitContext
+from ..boolprog.cfg import ProgramCfg
+from .trace import (
+    WitnessTrace,
+    WitnessValidationError,
+    format_call_edge,
+    format_internal_edge,
+    format_return_edge,
+)
+
+__all__ = ["validate_trace"]
+
+
+def _locals_tuple(cfg, procedure: str, named) -> Tuple[bool, ...]:
+    proc_cfg = cfg.procedure_cfg(procedure)
+    slots = sorted(proc_cfg.slot_of.items(), key=lambda item: item[1])
+    missing = [name for name, _ in slots if name not in named]
+    if missing:
+        raise WitnessValidationError(
+            f"step omits locals {missing} of procedure {procedure!r}"
+        )
+    values = [False] * (max((slot for _, slot in slots), default=-1) + 1)
+    for name, slot in slots:
+        values[slot] = bool(named[name])
+    return tuple(values)
+
+
+def _globals_tuple(cfg, named) -> Tuple[bool, ...]:
+    names = cfg.program.globals
+    missing = [name for name in names if name not in named]
+    if missing:
+        raise WitnessValidationError(f"step omits globals {missing}")
+    return tuple(bool(named[name]) for name in names)
+
+
+def validate_trace(
+    cfg: ProgramCfg,
+    trace: WitnessTrace,
+    target_locations: Sequence[Tuple[int, int]],
+) -> WitnessTrace:
+    """Replay ``trace`` through the explicit semantics; raise on any mismatch.
+
+    Returns the same trace with ``validated`` set and every step annotated
+    with the statement of the CFG edge that matched it.
+    """
+    context = ExplicitContext(cfg)
+    program = cfg.program
+    steps = trace.steps
+    if not steps:
+        raise WitnessValidationError("empty trace")
+
+    first = steps[0]
+    main_cfg = cfg.procedure_cfg(program.main)
+    if first.kind != "start":
+        raise WitnessValidationError(f"trace starts with a {first.kind!r} step")
+    if first.procedure != program.main or first.pc != main_cfg.entry:
+        raise WitnessValidationError(
+            f"trace starts at {first.procedure}:{first.pc}, "
+            f"not at {program.main}:{main_cfg.entry}"
+        )
+    procedure = program.main
+    pc = main_cfg.entry
+    locals_ = _locals_tuple(cfg, procedure, first.locals)
+    globals_ = _globals_tuple(cfg, first.globals)
+    if locals_ != context.initial_locals(procedure) or globals_ != context.initial_globals():
+        raise WitnessValidationError("trace does not start in the initial state")
+    first.statement = f"start of {program.main}"
+    # Call stack: (caller procedure, call edge, caller locals at the call).
+    stack: List[Tuple[str, object, Tuple[bool, ...]]] = []
+
+    for position, step in enumerate(steps[1:], start=1):
+        if step.kind == "internal":
+            if step.procedure != procedure:
+                raise WitnessValidationError(
+                    f"step {position}: internal move changes procedure "
+                    f"{procedure!r} -> {step.procedure!r}"
+                )
+            want_locals = _locals_tuple(cfg, procedure, step.locals)
+            want_globals = _globals_tuple(cfg, step.globals)
+            proc_cfg = cfg.procedure_cfg(procedure)
+            matched = None
+            for edge in proc_cfg.internal_edges:
+                if edge.source != pc or edge.target != step.pc:
+                    continue
+                for next_locals, next_globals in context.internal_successors(
+                    procedure, edge, locals_, globals_
+                ):
+                    if next_locals == want_locals and next_globals == want_globals:
+                        matched = edge
+                        break
+                if matched is not None:
+                    break
+            if matched is None:
+                raise WitnessValidationError(
+                    f"step {position}: no internal edge of {procedure!r} produces "
+                    f"pc {pc} -> {step.pc} with the claimed valuation"
+                )
+            step.statement = format_internal_edge(matched)
+            pc, locals_, globals_ = step.pc, want_locals, want_globals
+        elif step.kind == "call":
+            want_locals = _locals_tuple(cfg, step.procedure, step.locals)
+            want_globals = _globals_tuple(cfg, step.globals)
+            if want_globals != globals_:
+                raise WitnessValidationError(
+                    f"step {position}: call into {step.procedure!r} changes globals"
+                )
+            callee_cfg = cfg.procedure_cfg(step.procedure)
+            if step.pc != callee_cfg.entry:
+                raise WitnessValidationError(
+                    f"step {position}: call lands at pc {step.pc}, "
+                    f"not at the entry of {step.procedure!r}"
+                )
+            proc_cfg = cfg.procedure_cfg(procedure)
+            matched = None
+            for edge in proc_cfg.call_edges:
+                if edge.source != pc or edge.callee != step.procedure:
+                    continue
+                for entry_locals in context.call_entry_locals(
+                    procedure, edge, locals_, globals_
+                ):
+                    if entry_locals == want_locals:
+                        matched = edge
+                        break
+                if matched is not None:
+                    break
+            if matched is None:
+                raise WitnessValidationError(
+                    f"step {position}: no call edge of {procedure!r} at pc {pc} "
+                    f"enters {step.procedure!r} with the claimed valuation"
+                )
+            step.statement = format_call_edge(matched)
+            stack.append((procedure, matched, locals_))
+            procedure = step.procedure
+            pc, locals_, globals_ = callee_cfg.entry, want_locals, want_globals
+        elif step.kind == "return":
+            if not stack:
+                raise WitnessValidationError(
+                    f"step {position}: return with an empty call stack"
+                )
+            exit_pc = cfg.procedure_cfg(procedure).exit
+            if pc != exit_pc:
+                raise WitnessValidationError(
+                    f"step {position}: return from {procedure!r} at pc {pc}, "
+                    f"not at its exit {exit_pc}"
+                )
+            caller, edge, caller_locals = stack.pop()
+            if step.procedure != caller or step.pc != edge.return_pc:
+                raise WitnessValidationError(
+                    f"step {position}: return lands at {step.procedure}:{step.pc}, "
+                    f"expected {caller}:{edge.return_pc}"
+                )
+            next_locals, next_globals = context.apply_return(
+                caller, edge, caller_locals, locals_, globals_
+            )
+            want_locals = _locals_tuple(cfg, caller, step.locals)
+            want_globals = _globals_tuple(cfg, step.globals)
+            if next_locals != want_locals or next_globals != want_globals:
+                raise WitnessValidationError(
+                    f"step {position}: return valuation does not match "
+                    f"the call at {caller}:{edge.source}"
+                )
+            step.statement = format_return_edge(edge, procedure)
+            procedure = caller
+            pc, locals_, globals_ = edge.return_pc, next_locals, next_globals
+        else:
+            raise WitnessValidationError(
+                f"step {position}: unknown step kind {step.kind!r}"
+            )
+
+    final = (cfg.module_of(procedure), pc)
+    if final not in {tuple(loc) for loc in target_locations}:
+        raise WitnessValidationError(
+            f"trace ends at {procedure}:{pc}, which is not a target location"
+        )
+    trace.validated = True
+    return trace
